@@ -1,0 +1,42 @@
+"""Ablation: what EASY backfilling buys each policy class.
+
+Paper (§4.2.3/§4.3.3): FCFS benefits the most from backfilling ("the
+better the initial scheduling, the lower the possibilities [of] task
+backfilling"); the learned policies benefit the least.  This bench
+quantifies the per-policy backfill gain on one stream.
+"""
+
+from repro.experiments.dynamic import model_stream_for_span, run_dynamic_experiment
+from repro.experiments.paper_data import POLICY_COLUMNS
+
+from conftest import BENCH_SEED, run_once
+
+
+def _gains(scale):
+    wl = model_stream_for_span(
+        scale.n_sequences * scale.days * 86400.0, 256, seed=BENCH_SEED
+    )
+    common = dict(n_sequences=scale.n_sequences, days=scale.days)
+    plain = run_dynamic_experiment(
+        wl, POLICY_COLUMNS, 256, use_estimates=True, backfill=False, **common
+    )
+    backfilled = run_dynamic_experiment(
+        wl, POLICY_COLUMNS, 256, use_estimates=True, backfill=True, **common
+    )
+    return plain.medians(), backfilled.medians()
+
+
+def bench_ablation_backfill_gain(benchmark, record, scale):
+    """Median AVEbsld, estimates regime, backfilling off vs on."""
+    plain, backfilled = run_once(benchmark, _gains, scale)
+    lines = ["policy   plain  backfilled  gain"]
+    gains = {}
+    for name in POLICY_COLUMNS:
+        gain = plain[name] / max(backfilled[name], 1e-9)
+        gains[name] = gain
+        lines.append(
+            f"  {name:>4s} {plain[name]:>9.2f} {backfilled[name]:>10.2f} {gain:>6.2f}x"
+        )
+    record("\n".join(lines), extra={f"gain_{k}": v for k, v in gains.items()})
+    # Backfilling must help (or at least not hurt) the FCFS baseline.
+    assert backfilled["FCFS"] <= plain["FCFS"] * 1.05

@@ -1,0 +1,47 @@
+"""Ablation: EASY vs conservative backfilling (extension beyond the paper).
+
+The paper evaluates EASY, the variant production schedulers ship.
+Conservative backfilling reserves for *every* queued job; the classic
+result (Mu'alem & Feitelson 2001) is that EASY usually wins on slowdown
+because aggressive hole-filling outweighs reservation fidelity.  This
+bench reproduces that comparison on the Lublin model for FCFS and F1
+queue orders.
+"""
+
+from repro.experiments.dynamic import model_stream_for_span, run_dynamic_experiment
+
+from conftest import BENCH_SEED, run_once
+
+
+def _compare(scale):
+    wl = model_stream_for_span(
+        scale.n_sequences * scale.days * 86400.0, 256, seed=BENCH_SEED
+    )
+    out = {}
+    for mode in (False, "easy", "conservative"):
+        res = run_dynamic_experiment(
+            wl,
+            ["FCFS", "F1"],
+            256,
+            use_estimates=True,
+            backfill=mode,
+            n_sequences=scale.n_sequences,
+            days=scale.days,
+        )
+        out[str(mode)] = res.medians()
+    return out
+
+
+def bench_ablation_easy_vs_conservative(benchmark, record, scale):
+    """Median AVEbsld: no backfilling vs EASY vs conservative."""
+    table = run_once(benchmark, _compare, scale)
+    lines = ["mode          FCFS       F1"]
+    for mode, med in table.items():
+        lines.append(f"  {mode:<12s}{med['FCFS']:>8.2f} {med['F1']:>8.2f}")
+    record(
+        "\n".join(lines),
+        extra={f"{m}_{p}": v for m, med in table.items() for p, v in med.items()},
+    )
+    # both backfill variants must improve on no-backfill FCFS
+    assert table["easy"]["FCFS"] <= table["False"]["FCFS"] * 1.05
+    assert table["conservative"]["FCFS"] <= table["False"]["FCFS"] * 1.05

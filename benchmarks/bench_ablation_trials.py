@@ -1,0 +1,52 @@
+"""Ablation: training trial budget vs downstream policy quality.
+
+Figure 2 motivates 256k trials via estimator variance.  This bench closes
+the loop: train policies from score distributions generated at increasing
+trial budgets and measure the actual scheduling quality each produces.
+"""
+
+from repro.core.distribution import ScoreDistribution
+from repro.core.regression import RegressionConfig, fit_all
+from repro.core.taskgen import generate_tuples
+from repro.core.trials import run_trials
+from repro.experiments.dynamic import model_stream_for_span, run_dynamic_experiment
+from repro.policies.learned import NonlinearPolicy
+
+from conftest import BENCH_SEED, run_once
+
+
+def _sweep(scale):
+    budgets = [
+        max(scale.trials_per_tuple // 8, 32),
+        max(scale.trials_per_tuple // 2, 32),
+        scale.trials_per_tuple,
+    ]
+    tuples = generate_tuples(scale.n_tuples, seed=BENCH_SEED)
+    eval_wl = model_stream_for_span(
+        scale.n_sequences * scale.days * 86400.0, 256, seed=BENCH_SEED + 7
+    )
+    medians = {}
+    for budget in budgets:
+        results = [
+            run_trials(t, 256, budget, seed=1000 + i) for i, t in enumerate(tuples)
+        ]
+        dist = ScoreDistribution.from_trial_results(results)
+        cfg = RegressionConfig(max_points=scale.regression_max_points)
+        fitted = [f for f in fit_all(dist, config=cfg) if f.rank_error < float("inf")]
+        policy = NonlinearPolicy(fitted[0], name=f"T{budget}")
+        res = run_dynamic_experiment(
+            eval_wl, [policy], 256, n_sequences=scale.n_sequences, days=scale.days
+        )
+        medians[budget] = res.medians()[policy.name]
+    return medians
+
+
+def bench_ablation_trial_budget(benchmark, record, scale):
+    """Policy quality as a function of the training trial budget."""
+    medians = run_once(benchmark, _sweep, scale)
+    record(
+        "trials/tuple -> median AVEbsld of the learned policy:\n"
+        + "\n".join(f"  {k:>7d}: {v:.2f}" for k, v in medians.items()),
+        extra={f"median_at_{k}": v for k, v in medians.items()},
+    )
+    assert all(v >= 1.0 for v in medians.values())

@@ -1,0 +1,58 @@
+"""Extension study: where does the learned-policy advantage come from?
+
+Sweeps the offered load (by re-scaling one Lublin stream's arrival
+times) and measures the FCFS / SPT / F1 medians at each point.  The
+paper's big win factors come from congested regimes; this bench locates
+the crossover — at low load every policy is near AVEbsld=1 and ordering
+barely matters, while the F1-over-FCFS factor grows with load.
+"""
+
+import numpy as np
+
+from repro.experiments.dynamic import model_stream_for_span, run_dynamic_experiment
+from repro.workloads.lublin import scale_to_utilization
+
+from conftest import BENCH_SEED, run_once
+
+LOADS = (0.3, 0.5, 0.7, 0.9)
+
+
+def _sweep(scale):
+    base = model_stream_for_span(
+        scale.n_sequences * scale.days * 86400.0, 256, seed=BENCH_SEED
+    )
+    rows = {}
+    for load in LOADS:
+        wl = scale_to_utilization(base, load, 256)
+        days_available = wl.span / 86400.0
+        days = min(scale.days, days_available / (scale.n_sequences + 0.5))
+        res = run_dynamic_experiment(
+            wl,
+            ["FCFS", "SPT", "F1"],
+            256,
+            n_sequences=scale.n_sequences,
+            days=days,
+        )
+        rows[load] = res.medians()
+    return rows
+
+
+def bench_crossover_offered_load(benchmark, record, scale):
+    """FCFS/SPT/F1 medians across offered loads 0.3 -> 0.9."""
+    rows = run_once(benchmark, _sweep, scale)
+    lines = ["load     FCFS      SPT       F1   FCFS/F1"]
+    factors = []
+    for load, med in rows.items():
+        factor = med["FCFS"] / max(med["F1"], 1e-9)
+        factors.append(factor)
+        lines.append(
+            f" {load:.1f} {med['FCFS']:>8.2f} {med['SPT']:>8.2f}"
+            f" {med['F1']:>8.2f} {factor:>8.2f}x"
+        )
+    record(
+        "\n".join(lines),
+        extra={f"factor_at_{load}": f for load, f in zip(rows, factors)},
+    )
+    # the advantage must grow from the lightest to the heaviest regime
+    assert factors[-1] >= factors[0]
+    assert np.all([v >= 1.0 for med in rows.values() for v in med.values()])

@@ -1,0 +1,60 @@
+"""Substrate micro-benchmarks: simulator throughput.
+
+Not a paper artifact — this guards the engine's performance, which bounds
+every experiment above.  Reported as events/second via pytest-benchmark's
+statistics (these functions run multiple rounds, unlike the one-shot
+table regenerations).
+"""
+
+import pytest
+
+from repro.policies.registry import get_policy
+from repro.sim.engine import simulate
+from repro.workloads.lublin import lublin_workload
+from repro.workloads.tsafrir import apply_tsafrir
+
+N_JOBS = 2000
+NMAX = 256
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return apply_tsafrir(lublin_workload(N_JOBS, NMAX, seed=3), seed=4)
+
+
+def bench_engine_static_policy(benchmark, stream):
+    """FCFS (static queue path), no backfilling."""
+    result = benchmark(simulate, stream, get_policy("FCFS"), NMAX)
+    assert result.n_events > 0
+    benchmark.extra_info["events"] = result.n_events
+    benchmark.extra_info["jobs"] = N_JOBS
+
+
+def bench_engine_dynamic_policy(benchmark, stream):
+    """WFP3 (dynamic re-scoring path), no backfilling."""
+    result = benchmark(simulate, stream, get_policy("WFP"), NMAX)
+    benchmark.extra_info["events"] = result.n_events
+
+
+def bench_engine_backfill(benchmark, stream):
+    """FCFS + EASY backfilling with user estimates (the heaviest mode)."""
+    result = benchmark(
+        simulate, stream, get_policy("FCFS"), NMAX, use_estimates=True, backfill=True
+    )
+    benchmark.extra_info["backfilled"] = result.backfill_count
+
+
+def bench_trial_simulator(benchmark):
+    """One |S|=16, |Q|=32 permutation trial (the training inner loop)."""
+    import numpy as np
+
+    from repro.core.taskgen import generate_tuples
+    from repro.sim.listsched import simulate_fixed_priority
+
+    tup = generate_tuples(1, seed=0)[0]
+    submit = np.concatenate([tup.S.submit, tup.Q.submit])
+    runtime = np.concatenate([tup.S.runtime, tup.Q.runtime])
+    size = np.concatenate([tup.S.size, tup.Q.size])
+    priority = np.arange(48, dtype=float)
+    out = benchmark(simulate_fixed_priority, submit, runtime, size, priority, 256)
+    assert len(out) == 48

@@ -1,0 +1,40 @@
+"""Figure 1: example trial score distributions for (S, Q) tuples.
+
+Paper: with |S|=16, |Q|=32 on 256 cores, per-task scores sit slightly
+above or below the uniform mean 1/32 = 0.031.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig1_trial_score_distributions
+
+from conftest import BENCH_SEED, run_once
+
+
+def bench_fig1_trial_score_distributions(benchmark, record, scale):
+    """Two example tuples' score distributions (the paper's two panels)."""
+    fig1 = run_once(
+        benchmark,
+        fig1_trial_score_distributions,
+        n_panels=2,
+        n_trials=min(scale.trials_per_tuple, 4096),
+        seed=BENCH_SEED,
+    )
+    lines = [f"mean line: 1/|Q| = {fig1.mean_line:.4f}"]
+    for i, panel in enumerate(fig1.panels):
+        lines.append(
+            f"panel {i}: min={panel.min():.4f} max={panel.max():.4f}"
+            f" std={panel.std():.4f}"
+        )
+        lines.append("  scores: " + " ".join(f"{s:.4f}" for s in panel))
+    record(
+        "\n".join(lines),
+        extra={
+            "panel0_std": float(fig1.panels[0].std()),
+            "panel1_std": float(fig1.panels[1].std()),
+        },
+    )
+    for panel in fig1.panels:
+        assert np.isclose(panel.sum(), 1.0, atol=1e-9)  # partition of unity
+        assert abs(panel.mean() - fig1.mean_line) < 1e-9
+        assert panel.max() < 5 * fig1.mean_line  # "slightly above or below"

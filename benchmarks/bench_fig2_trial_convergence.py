@@ -1,0 +1,34 @@
+"""Figure 2: score estimator spread vs number of trials.
+
+Paper: normalized standard deviation drops quickly with the trial count
+(0.02 at 256k trials); the number of trials was chosen where the curve
+flattens.  At reduced budgets the reproduction target is the monotone
+drop and the rough Monte-Carlo rate (~1/sqrt(trials)).
+"""
+
+from repro.experiments.figures import fig2_trial_convergence
+
+from conftest import BENCH_SEED, run_once
+
+
+def bench_fig2_trial_convergence(benchmark, record, scale):
+    """The paper's convergence study on one tuple."""
+    fig2 = run_once(
+        benchmark,
+        fig2_trial_convergence,
+        scale.fig2_trial_counts,
+        repeats=scale.fig2_repeats,
+        seed=BENCH_SEED,
+    )
+    lines = ["trials -> normalized std of score estimates"]
+    for count, std in fig2.series():
+        lines.append(f"  {count:>8d}  {std:.5f}")
+    record(
+        "\n".join(lines),
+        extra={f"std_{c}": float(s) for c, s in fig2.series()},
+    )
+    stds = fig2.normalized_std
+    assert stds[0] > stds[-1], "estimator spread must shrink with trials"
+    # loose sqrt-rate check across the full budget range
+    span = scale.fig2_trial_counts[-1] / scale.fig2_trial_counts[0]
+    assert stds[0] / stds[-1] > span**0.25

@@ -1,0 +1,42 @@
+"""Figure 3: priority structure of F1-F4 over (r, n), (r, s) and (n, s).
+
+Paper: (a) for fixed s, priority degrades with both runtime and cores —
+F1/F2 penalise cores harder, F4 runtime harder, F3 both equally;
+(b)/(c) the submit time dominates: older tasks (small s) out-prioritise
+anything that arrived later.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig3_policy_maps
+
+from conftest import run_once
+
+
+def _run_all():
+    return {pair: fig3_policy_maps(pair, resolution=48) for pair in ("rn", "rs", "ns")}
+
+
+def bench_fig3_policy_maps(benchmark, record, scale):
+    """All three panel rows for all four policies."""
+    maps = run_once(benchmark, _run_all)
+    lines = []
+    for pair, m in maps.items():
+        lines.append(f"panel {pair}: x={pair[0]} y={pair[1]} (normalized scores)")
+        for name, grid in m.maps.items():
+            lines.append(
+                f"  {name}: corners ll={grid[0, 0]:.2f} lr={grid[0, -1]:.2f}"
+                f" ul={grid[-1, 0]:.2f} ur={grid[-1, -1]:.2f}"
+            )
+    record("\n".join(lines))
+
+    # Panel (a): monotone in r and n for every policy.
+    for name, grid in maps["rn"].maps.items():
+        assert np.all(np.diff(grid, axis=1) >= -1e-9), f"{name} not monotone in r"
+        assert np.all(np.diff(grid, axis=0) >= -1e-9), f"{name} not monotone in n"
+    # Panels (b)/(c): earlier submit -> darker (lower score), dominating
+    # the other attribute for the large-constant policies F2-F4.
+    for pair in ("rs", "ns"):
+        for name in ("F2", "F3", "F4"):
+            grid = maps[pair].maps[name]
+            assert np.all(grid[0, :] <= grid[-1, :] + 1e-9), f"{name}/{pair}"

@@ -1,0 +1,62 @@
+"""Robustness sweeps: is the paper's conclusion seed- and tau-stable?
+
+The paper reports one seed and tau = 10 s.  These benches re-run the
+flagship model experiment under several workload seeds and several tau
+values and assert that the conclusion — learned policies beat the
+baselines — survives every sweep point.
+"""
+
+from repro.experiments.scale import Scale
+from repro.experiments.sensitivity import ranking_stability, seed_sweep, tau_sweep
+from repro.experiments.table4 import TABLE4_ROWS
+
+from conftest import run_once
+
+ROW = next(r for r in TABLE4_ROWS if r.row_id == "model_256_actual")
+POLICIES = ("FCFS", "SPT", "F1")
+
+
+def _shrink(scale: Scale) -> Scale:
+    """Sweeps multiply the row cost; halve the sequence budget."""
+    return Scale(
+        name=f"{scale.name}-sweep",
+        n_sequences=max(scale.n_sequences // 2, 2),
+        days=scale.days,
+        trace_jobs=scale.trace_jobs,
+        n_tuples=scale.n_tuples,
+        trials_per_tuple=scale.trials_per_tuple,
+        regression_max_points=scale.regression_max_points,
+        fig2_trial_counts=scale.fig2_trial_counts,
+        fig2_repeats=scale.fig2_repeats,
+    )
+
+
+def bench_sensitivity_seeds(benchmark, record, scale):
+    """model_256_actual under five workload seeds."""
+    sweep = run_once(
+        benchmark, seed_sweep, ROW, _shrink(scale), (0, 1, 2, 3, 4), policies=POLICIES
+    )
+    lines = ["seed     " + "".join(f"{p:>9s}" for p in POLICIES)]
+    for seed in sweep.seeds:
+        med = sweep.medians[seed]
+        lines.append(f"  {seed:<6d} " + "".join(f"{med[p]:>9.2f}" for p in POLICIES))
+    winners = sweep.winner_counts()
+    lines.append(f"winners: {winners}")
+    record("\n".join(lines), extra={f"wins_{k}": v for k, v in winners.items()})
+    # F1 must win on a clear majority of seeds
+    assert winners.get("F1", 0) >= 3
+
+
+def bench_sensitivity_tau(benchmark, record, scale):
+    """model_256_actual under tau in {1, 10, 60} seconds."""
+    taus = run_once(
+        benchmark, tau_sweep, ROW, _shrink(scale), (1.0, 10.0, 60.0), policies=POLICIES
+    )
+    lines = ["tau      " + "".join(f"{p:>9s}" for p in POLICIES)]
+    for tau, med in taus.items():
+        lines.append(f"  {tau:<6.0f} " + "".join(f"{med[p]:>9.2f}" for p in POLICIES))
+    rankings = {t: sorted(med, key=med.get) for t, med in taus.items()}
+    stability = ranking_stability(rankings)
+    lines.append(f"ranking stability: {stability:.2f}")
+    record("\n".join(lines), extra={"ranking_stability": stability})
+    assert all(med["F1"] <= med["FCFS"] for med in taus.values())

@@ -1,0 +1,16 @@
+"""Figure 4 / Table 4 rows 1-2: Lublin model, actual runtimes.
+
+Paper: F1-F4 dominate; F1 best (29.58 vs FCFS 5846.87 at 256 cores).
+"""
+
+from _table4_common import run_table4_row
+
+
+def bench_fig4a_model_256_actual(benchmark, record, scale):
+    """Fig. 4(a): nmax=256, actual runtimes r."""
+    run_table4_row(benchmark, record, scale, "model_256_actual")
+
+
+def bench_fig4b_model_1024_actual(benchmark, record, scale):
+    """Fig. 4(b): nmax=1024, actual runtimes r (core-count generalization)."""
+    run_table4_row(benchmark, record, scale, "model_1024_actual")

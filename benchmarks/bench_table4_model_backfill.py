@@ -1,0 +1,17 @@
+"""Figure 6 / Table 4 rows 5-6: Lublin model, estimates + EASY backfilling.
+
+Paper: backfilling lifts every policy, FCFS (=EASY) most of all, but
+F1 remains >12x better than the best ad-hoc policy.
+"""
+
+from _table4_common import run_table4_row
+
+
+def bench_fig6a_model_256_backfill(benchmark, record, scale):
+    """Fig. 6(a): nmax=256, estimates + aggressive backfilling."""
+    run_table4_row(benchmark, record, scale, "model_256_backfill")
+
+
+def bench_fig6b_model_1024_backfill(benchmark, record, scale):
+    """Fig. 6(b): nmax=1024, estimates + aggressive backfilling."""
+    run_table4_row(benchmark, record, scale, "model_1024_backfill")

@@ -1,0 +1,18 @@
+"""Figure 5 / Table 4 rows 3-4: Lublin model, Tsafrir user estimates.
+
+Paper: every estimate-using policy degrades (FCFS is unchanged); F1-F4
+stay 4.9x-107.9x (256 cores) / 2.3x-23.7x (1024) ahead of the best
+ad-hoc policy.
+"""
+
+from _table4_common import run_table4_row
+
+
+def bench_fig5a_model_256_estimates(benchmark, record, scale):
+    """Fig. 5(a): nmax=256, runtime estimates e."""
+    run_table4_row(benchmark, record, scale, "model_256_estimates")
+
+
+def bench_fig5b_model_1024_estimates(benchmark, record, scale):
+    """Fig. 5(b): nmax=1024, runtime estimates e."""
+    run_table4_row(benchmark, record, scale, "model_1024_estimates")

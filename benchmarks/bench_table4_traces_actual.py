@@ -1,0 +1,28 @@
+"""Figure 7 / Table 4 rows 7-10: real-trace stand-ins, actual runtimes.
+
+Paper: F1-F4 cut median AVEbsld on all four traces and shrink the
+inter-quartile spread; the per-trace winner varies (F2 on Curie/SDSC/CTC,
+F3 on ANL Intrepid).
+"""
+
+from _table4_common import run_table4_row
+
+
+def bench_fig7a_curie_actual(benchmark, record, scale):
+    """Fig. 7(a): Curie, actual runtimes."""
+    run_table4_row(benchmark, record, scale, "curie_actual")
+
+
+def bench_fig7b_anl_intrepid_actual(benchmark, record, scale):
+    """Fig. 7(b): ANL Intrepid, actual runtimes."""
+    run_table4_row(benchmark, record, scale, "anl_intrepid_actual")
+
+
+def bench_fig7c_sdsc_blue_actual(benchmark, record, scale):
+    """Fig. 7(c): SDSC Blue, actual runtimes."""
+    run_table4_row(benchmark, record, scale, "sdsc_blue_actual")
+
+
+def bench_fig7d_ctc_sp2_actual(benchmark, record, scale):
+    """Fig. 7(d): CTC SP2, actual runtimes."""
+    run_table4_row(benchmark, record, scale, "ctc_sp2_actual")

@@ -1,0 +1,28 @@
+"""Figure 9 / Table 4 rows 15-18: trace stand-ins, estimates + backfilling.
+
+Paper: EASY (FCFS+backfill) gains the most; F1-F4 gain the least
+(already-good schedules leave little to backfill) yet stay the better
+general choice.
+"""
+
+from _table4_common import run_table4_row
+
+
+def bench_fig9a_curie_backfill(benchmark, record, scale):
+    """Fig. 9(a): Curie, estimates + aggressive backfilling."""
+    run_table4_row(benchmark, record, scale, "curie_backfill")
+
+
+def bench_fig9b_anl_intrepid_backfill(benchmark, record, scale):
+    """Fig. 9(b): ANL Intrepid, estimates + aggressive backfilling."""
+    run_table4_row(benchmark, record, scale, "anl_intrepid_backfill")
+
+
+def bench_fig9c_sdsc_blue_backfill(benchmark, record, scale):
+    """Fig. 9(c): SDSC Blue, estimates + aggressive backfilling."""
+    run_table4_row(benchmark, record, scale, "sdsc_blue_backfill")
+
+
+def bench_fig9d_ctc_sp2_backfill(benchmark, record, scale):
+    """Fig. 9(d): CTC SP2, estimates + aggressive backfilling."""
+    run_table4_row(benchmark, record, scale, "ctc_sp2_backfill")

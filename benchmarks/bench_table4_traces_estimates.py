@@ -1,0 +1,27 @@
+"""Figure 8 / Table 4 rows 11-14: real-trace stand-ins, user estimates.
+
+Paper: degradation across the board, but F1-F4 keep lower medians and
+tighter quartiles on every trace.
+"""
+
+from _table4_common import run_table4_row
+
+
+def bench_fig8a_curie_estimates(benchmark, record, scale):
+    """Fig. 8(a): Curie, runtime estimates."""
+    run_table4_row(benchmark, record, scale, "curie_estimates")
+
+
+def bench_fig8b_anl_intrepid_estimates(benchmark, record, scale):
+    """Fig. 8(b): ANL Intrepid, runtime estimates."""
+    run_table4_row(benchmark, record, scale, "anl_intrepid_estimates")
+
+
+def bench_fig8c_sdsc_blue_estimates(benchmark, record, scale):
+    """Fig. 8(c): SDSC Blue, runtime estimates."""
+    run_table4_row(benchmark, record, scale, "sdsc_blue_estimates")
+
+
+def bench_fig8d_ctc_sp2_estimates(benchmark, record, scale):
+    """Fig. 8(d): CTC SP2, runtime estimates."""
+    run_table4_row(benchmark, record, scale, "ctc_sp2_estimates")

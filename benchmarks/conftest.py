@@ -1,0 +1,71 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the
+current :class:`~repro.experiments.scale.Scale` (``REPRO_SCALE`` env var,
+default ``small``).  Timing comes from pytest-benchmark; the
+*reproduction output* — measured-vs-paper tables, figure series — is
+written to ``results/<bench>.txt`` and echoed into the benchmark's
+``extra_info`` so it survives in ``--benchmark-json`` exports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.scale import Scale, current_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: One shared seed across the harness — rows of the same table reuse
+#: workload streams exactly as in the paper's experiment design.
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _quiet_numpy():
+    """Candidate nonlinear functions legitimately over/underflow."""
+    old = np.seterr(all="ignore")
+    yield
+    np.seterr(**old)
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The active scale preset."""
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir, scale, request):
+    """Callable writing a bench's reproduction output to results/."""
+
+    def _record(text: str, extra: dict | None = None) -> str:
+        name = request.node.name
+        header = f"# {name} @ scale={scale.name}\n"
+        path = results_dir / f"{name}.txt"
+        path.write_text(header + text + "\n", encoding="utf-8")
+        if extra and hasattr(request.node, "funcargs"):
+            bench = request.node.funcargs.get("benchmark")
+            if bench is not None:
+                bench.extra_info.update(extra)
+        return str(path)
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and heavy; statistical repetition
+    belongs to the simulator micro-benchmarks, not to table regeneration.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Reproduce a Figure 4-style boxplot comparison in the terminal.
+
+Runs the paper's dynamic scheduling experiment (multiple non-overlapping
+sequences, each scheduled under every policy) on the Lublin model at 256
+cores and renders the resulting average-bounded-slowdown distributions as
+an ASCII boxplot — the data behind Figure 4(a), at laptop scale.
+
+Run:  python examples/compare_policies_boxplot.py
+"""
+
+from repro.experiments.dynamic import model_stream_for_span, run_dynamic_experiment
+from repro.experiments.paper_data import POLICY_COLUMNS, paper_row
+from repro.experiments.report import render_comparison, render_statistics
+
+NMAX = 256
+N_SEQUENCES = 4
+DAYS = 1.0
+
+
+def main() -> None:
+    span = N_SEQUENCES * DAYS * 86400.0
+    stream = model_stream_for_span(span, NMAX, seed=2017)
+    print(
+        f"stream: {len(stream)} Lublin jobs spanning {stream.span / 86400:.1f} days"
+    )
+
+    result = run_dynamic_experiment(
+        stream,
+        POLICY_COLUMNS,
+        NMAX,
+        name="model_256_actual",
+        n_sequences=N_SEQUENCES,
+        days=DAYS,
+    )
+
+    print()
+    print(render_statistics(result))
+    print()
+    print("AVEbsld distribution per policy (log axis):")
+    print(result.ascii_plot(log10=True))
+    print()
+    print(render_comparison(result, paper_row("model_256_actual")))
+    print(
+        "\nNote: absolute values differ from the paper (1-day windows vs 15-day,"
+        "\nsimulated substrate); the reproduction target is the ordering."
+    )
+
+
+if __name__ == "__main__":
+    main()

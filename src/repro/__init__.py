@@ -1,0 +1,85 @@
+"""repro — reproduction of "Obtaining Dynamic Scheduling Policies with
+Simulation and Machine Learning" (Carastan-Santos & de Camargo, SC'17).
+
+The library has four layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sim` — event-driven cluster simulator with EASY backfilling
+  (the paper's SimGrid substitute) and the bounded-slowdown metrics.
+* :mod:`repro.workloads` — Lublin–Feitelson workload model, Tsafrir user
+  runtime-estimate model, SWF I/O, and synthetic stand-ins for the four
+  Parallel Workloads Archive traces of Table 5.
+* :mod:`repro.policies` — classical (FCFS/SPT/…), smart ad-hoc
+  (WFP3/UNICEF) and the learned nonlinear policies F1–F4 of Table 3.
+* :mod:`repro.core` — the paper's contribution: permutation-trial scoring
+  (Eq. 3), the pooled score distribution, and weighted nonlinear
+  regression over the 576-candidate function space (Eqs. 4–5),
+  culminating in :func:`repro.core.obtain_policies`.
+
+Quickstart::
+
+    import repro
+
+    wl = repro.lublin_workload(2000, nmax=256, seed=42)
+    result = repro.simulate(wl, repro.get_policy("F1"), nmax=256)
+    print(result.ave_bsld)
+"""
+
+from repro.core import (
+    PipelineConfig,
+    PipelineResult,
+    ScoreDistribution,
+    obtain_policies,
+)
+from repro.experiments import run_dynamic_experiment, run_row
+from repro.policies import (
+    NonlinearPolicy,
+    Policy,
+    available_policies,
+    get_policy,
+    paper_policies,
+)
+from repro.sim import (
+    Job,
+    ScheduleResult,
+    Workload,
+    average_bounded_slowdown,
+    bounded_slowdown,
+    simulate,
+)
+from repro.workloads import (
+    apply_tsafrir,
+    extract_sequences,
+    lublin_workload,
+    read_swf,
+    synthetic_trace,
+    write_swf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Job",
+    "NonlinearPolicy",
+    "PipelineConfig",
+    "PipelineResult",
+    "Policy",
+    "ScheduleResult",
+    "ScoreDistribution",
+    "Workload",
+    "__version__",
+    "apply_tsafrir",
+    "available_policies",
+    "average_bounded_slowdown",
+    "bounded_slowdown",
+    "extract_sequences",
+    "get_policy",
+    "lublin_workload",
+    "obtain_policies",
+    "paper_policies",
+    "read_swf",
+    "run_dynamic_experiment",
+    "run_row",
+    "simulate",
+    "synthetic_trace",
+    "write_swf",
+]

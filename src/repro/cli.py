@@ -1,0 +1,272 @@
+"""Command-line interface (``repro-sched``).
+
+Mirrors the three artifact workflows plus convenience commands::
+
+    repro-sched train      # §3: tuples -> trials -> distribution -> regression
+    repro-sched simulate   # schedule a workload under one policy
+    repro-sched table4     # regenerate Table 4 rows, paper-vs-measured
+    repro-sched figures    # regenerate Figures 1-3 data
+    repro-sched trace      # emit a synthetic trace stand-in as SWF
+    repro-sched analyze    # characterise a workload / policy agreement
+    repro-sched info       # library / scale / policy inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+import repro
+from repro.core.pipeline import PipelineConfig, obtain_policies
+from repro.core.regression import RegressionConfig
+from repro.experiments.figures import (
+    fig1_trial_score_distributions,
+    fig2_trial_convergence,
+    fig3_policy_maps,
+)
+from repro.experiments.paper_data import paper_row
+from repro.experiments.report import render_comparison, render_statistics
+from repro.experiments.scale import SCALES, current_scale, get_scale
+from repro.experiments.table4 import row_ids, run_row
+from repro.policies.registry import available_policies, get_policy
+from repro.workloads.swf import read_swf, write_swf
+from repro.workloads.traces import synthetic_trace, trace_names
+
+
+def _add_scale_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment scale preset (default: $REPRO_SCALE or 'small')",
+    )
+
+
+def _scale_from(args: argparse.Namespace):
+    return get_scale(args.scale) if args.scale else current_scale()
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    config = PipelineConfig(
+        n_tuples=args.tuples or scale.n_tuples,
+        trials_per_tuple=args.trials or scale.trials_per_tuple,
+        nmax=args.nmax,
+        seed=args.seed,
+        top_k=args.top,
+        regression=RegressionConfig(max_points=scale.regression_max_points),
+    )
+
+    def progress(stage: str, done: int, total: int) -> None:
+        if done == total or done % max(total // 10, 1) == 0:
+            print(f"  [{stage}] {done}/{total}", file=sys.stderr)
+
+    result = obtain_policies(config, progress)
+    print(result.report(args.top))
+    if args.output:
+        result.distribution.to_csv(args.output)
+        print(f"score distribution written to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.swf:
+        wl = read_swf(args.swf)
+        nmax = args.nmax or wl.nmax
+    elif args.trace:
+        wl = synthetic_trace(args.trace, seed=args.seed, n_jobs=args.jobs)
+        nmax = wl.nmax
+    else:
+        wl = repro.lublin_workload(args.jobs or 2000, args.nmax, seed=args.seed)
+        wl = repro.apply_tsafrir(wl, seed=args.seed + 1)
+        nmax = args.nmax
+    policy = get_policy(args.policy)
+    result = repro.simulate(
+        wl, policy, nmax, use_estimates=args.estimates, backfill=args.backfill
+    )
+    print(
+        f"policy={policy.name} jobs={len(wl)} nmax={nmax} "
+        f"AVEbsld={result.ave_bsld:.2f} makespan={result.makespan:.0f}s "
+        f"util={result.utilization:.3f} backfilled={result.backfill_count}"
+    )
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    targets = args.rows or row_ids()
+    for rid in targets:
+        result = run_row(rid, scale, seed=args.seed)
+        print(render_statistics(result))
+        print(render_comparison(result, paper_row(rid), title=f"[{rid}]"))
+        if args.plot:
+            print(result.ascii_plot())
+        print()
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.export import write_all
+
+    scale = _scale_from(args)
+    fig1 = fig2 = None
+    fig3_panels = []
+    if args.figure in ("1", "all"):
+        fig1 = fig1_trial_score_distributions(
+            n_trials=min(scale.trials_per_tuple, 1024), seed=args.seed
+        )  # noqa: F841 - also exported below
+        print(f"Figure 1 (mean line = {fig1.mean_line:.3f}):")
+        for i, panel in enumerate(fig1.panels):
+            print(f"  panel {i}: " + " ".join(f"{s:.4f}" for s in panel))
+    if args.figure in ("2", "all"):
+        fig2 = fig2_trial_convergence(
+            scale.fig2_trial_counts, repeats=scale.fig2_repeats, seed=args.seed
+        )
+        print("Figure 2 (trials -> normalized std):")
+        for count, std in fig2.series():
+            print(f"  {count:>8d} {std:.4f}")
+    if args.figure in ("3", "all"):
+        for pair in ("rn", "rs", "ns"):
+            maps = fig3_policy_maps(pair)
+            fig3_panels.append(maps)
+            print(f"Figure 3 panel {pair}: policies {sorted(maps.maps)}")
+            for name, grid in maps.maps.items():
+                print(
+                    f"  {name}: corner priorities "
+                    f"ll={grid[0, 0]:.2f} lr={grid[0, -1]:.2f} "
+                    f"ul={grid[-1, 0]:.2f} ur={grid[-1, -1]:.2f}"
+                )
+    if args.output_dir:
+        paths = write_all(
+            args.output_dir, fig1=fig1, fig2=fig2, fig3_panels=fig3_panels
+        )
+        print(f"wrote {len(paths)} CSV file(s) to {args.output_dir}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    wl = synthetic_trace(args.name, seed=args.seed, n_jobs=args.jobs)
+    text = write_swf(wl, args.output)
+    if args.output:
+        print(f"{len(wl)} jobs written to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.policies.analysis import agreement_matrix
+    from repro.workloads.analysis import profile_workload
+
+    if args.swf:
+        wl = read_swf(args.swf)
+    elif args.trace:
+        wl = synthetic_trace(args.trace, seed=args.seed, n_jobs=args.jobs)
+    else:
+        wl = repro.apply_tsafrir(
+            repro.lublin_workload(args.jobs or 3000, args.nmax, seed=args.seed),
+            seed=args.seed + 1,
+        )
+        wl = wl.with_name("lublin model")
+    print(profile_workload(wl, nmax=args.nmax or wl.nmax or None).to_text())
+    if args.agreement:
+        policies = [get_policy(n) for n in args.agreement]
+        names, mat = agreement_matrix(policies, wl)
+        print("\nqueue-order agreement (Kendall tau):")
+        print("        " + "".join(f"{n:>7s}" for n in names))
+        for i, name in enumerate(names):
+            row = "".join(f"{mat[i, j]:>7.2f}" for j in range(len(names)))
+            print(f"{name:>7s} {row}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {repro.__version__}")
+    print(f"scales: {', '.join(sorted(SCALES))} (current: {current_scale().name})")
+    print(f"policies: {', '.join(available_policies())}")
+    print(f"traces: {', '.join(trace_names())}")
+    print(f"table4 rows: {', '.join(row_ids())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="run the policy-obtaining pipeline (§3)")
+    p.add_argument("--tuples", type=int, default=None)
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--nmax", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=4)
+    p.add_argument("--output", help="write the score distribution CSV here")
+    _add_scale_arg(p)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("simulate", help="schedule one workload under one policy")
+    p.add_argument("--policy", default="F1")
+    p.add_argument("--nmax", type=int, default=256)
+    p.add_argument("--jobs", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--swf", help="SWF file to replay")
+    p.add_argument("--trace", choices=trace_names(), help="synthetic trace stand-in")
+    p.add_argument("--estimates", action="store_true")
+    p.add_argument("--backfill", action="store_true")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("table4", help="regenerate Table 4 rows")
+    p.add_argument("--rows", nargs="*", choices=row_ids(), default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plot", action="store_true", help="ASCII boxplots")
+    _add_scale_arg(p)
+    p.set_defaults(func=_cmd_table4)
+
+    p = sub.add_parser("figures", help="regenerate Figures 1-3 data")
+    p.add_argument("--figure", choices=("1", "2", "3", "all"), default="all")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-dir", help="also write the series as CSV files")
+    _add_scale_arg(p)
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("trace", help="emit a synthetic trace stand-in as SWF")
+    p.add_argument("name", choices=trace_names())
+    p.add_argument("--jobs", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("analyze", help="characterise a workload")
+    p.add_argument("--swf", help="SWF file to profile")
+    p.add_argument("--trace", choices=trace_names())
+    p.add_argument("--jobs", type=int, default=None)
+    p.add_argument("--nmax", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--agreement",
+        nargs="*",
+        metavar="POLICY",
+        help="also print the Kendall-tau agreement matrix of these policies",
+    )
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("info", help="library inventory")
+    p.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    np.seterr(all="ignore")  # candidate functions legitimately over/underflow
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

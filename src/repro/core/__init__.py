@@ -1,0 +1,49 @@
+"""The paper's contribution: simulation-driven scores + nonlinear regression."""
+
+from repro.core.datastore import TrainingDataStore
+from repro.core.distribution import ScoreDistribution
+from repro.core.functions import (
+    BASE_FUNCTION_NAMES,
+    OPERATOR_NAMES,
+    FittedFunction,
+    FunctionSpec,
+    apply_base,
+    enumerate_function_space,
+)
+from repro.core.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    build_distribution,
+    obtain_policies,
+)
+from repro.core.regression import RegressionConfig, fit_all, fit_function, rank_error
+from repro.core.taskgen import TaskSetTuple, generate_tuples, split_tuple
+from repro.core.trials import TrialScoreResult, run_trials
+from repro.core.validation import HoldoutEntry, holdout_report, train_test_split
+
+__all__ = [
+    "BASE_FUNCTION_NAMES",
+    "FittedFunction",
+    "FunctionSpec",
+    "OPERATOR_NAMES",
+    "PipelineConfig",
+    "PipelineResult",
+    "RegressionConfig",
+    "ScoreDistribution",
+    "TaskSetTuple",
+    "TrainingDataStore",
+    "TrialScoreResult",
+    "apply_base",
+    "build_distribution",
+    "enumerate_function_space",
+    "fit_all",
+    "fit_function",
+    "HoldoutEntry",
+    "generate_tuples",
+    "holdout_report",
+    "train_test_split",
+    "obtain_policies",
+    "rank_error",
+    "run_trials",
+    "split_tuple",
+]

@@ -1,0 +1,191 @@
+"""On-disk training data store — the artifact's Workflow 1, faithfully.
+
+The paper's artifact runs ``generate_simulation_data.py`` as a background
+process "for at least a couple of days", appending per-tuple files under
+two directories, then joins them with ``gather_data.py``:
+
+* ``task-sets/``      one CSV per (S, Q) tuple —
+  ``runtime,#processors,submit time`` per job;
+* ``training-data/``  one CSV per tuple's trial score distribution —
+  ``runtime,#processors,submit time,score`` per probe task.
+
+:class:`TrainingDataStore` reproduces that layout and contract:
+generation is *incremental and resumable* (existing tuple indices are
+detected and extended, so a long-running campaign can be stopped and
+restarted at will), and :meth:`gather` is ``gather_data.py`` — it pools
+every trial file into one :class:`~repro.core.distribution.ScoreDistribution`
+(also writable as the artifact's ``score-distribution.csv``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.distribution import ScoreDistribution
+from repro.core.taskgen import TaskSetTuple, generate_tuples
+from repro.core.trials import TrialScoreResult, run_trials
+from repro.sim.job import Workload
+from repro.util.rng import spawn_generators
+
+__all__ = ["TrainingDataStore"]
+
+_TUPLE_RE = re.compile(r"tuple-(\d+)\.csv$")
+
+
+class TrainingDataStore:
+    """Artifact-layout store of tuples and trial score distributions."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.root = Path(directory)
+        self.task_sets = self.root / "task-sets"
+        self.training_data = self.root / "training-data"
+        self.task_sets.mkdir(parents=True, exist_ok=True)
+        self.training_data.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # layout helpers
+    # ------------------------------------------------------------------
+    def tuple_indices(self) -> list[int]:
+        """Indices of tuples already generated (sorted)."""
+        out = []
+        for path in self.task_sets.iterdir():
+            match = _TUPLE_RE.search(path.name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def next_index(self) -> int:
+        """The index the next generated tuple will receive."""
+        existing = self.tuple_indices()
+        return existing[-1] + 1 if existing else 0
+
+    def _tuple_path(self, index: int) -> Path:
+        return self.task_sets / f"tuple-{index}.csv"
+
+    def _trials_path(self, index: int) -> Path:
+        return self.training_data / f"trial-{index}.csv"
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def save_tuple(self, tup: TaskSetTuple) -> Path:
+        """Write one tuple as ``runtime,#processors,submit`` rows (S then Q)."""
+        lines = []
+        for wl in (tup.S, tup.Q):
+            for i in range(len(wl)):
+                lines.append(
+                    f"{wl.runtime[i]:.1f},{int(wl.size[i])},{wl.submit[i]:.1f}"
+                )
+        path = self._tuple_path(tup.index)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def save_trials(self, result: TrialScoreResult, index: int) -> Path:
+        """Write one tuple's trial score distribution (artifact format)."""
+        lines = [
+            f"{result.runtime[i]:.1f},{result.size[i]:.1f},"
+            f"{result.submit[i]:.1f},{result.scores[i]:.13g}"
+            for i in range(len(result.scores))
+        ]
+        path = self._trials_path(index)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    # ------------------------------------------------------------------
+    # generation campaign (resumable)
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        n_tuples: int,
+        *,
+        nmax: int = 256,
+        s_size: int = 16,
+        q_size: int = 32,
+        trials_per_tuple: int = 2048,
+        seed: int = 0,
+    ) -> list[int]:
+        """Append *n_tuples* new tuples + trial distributions to the store.
+
+        Resumable: tuple ``k`` is always produced from the ``k``-th child
+        of *seed*, so interrupting and re-invoking with the same seed
+        continues the exact same campaign (no duplicated or divergent
+        tuples).  Returns the indices generated in this call.
+        """
+        start = self.next_index()
+        end = start + n_tuples
+        # Derive children deterministically by absolute index.
+        tuple_rngs = spawn_generators(seed, end)[start:end]
+        trial_rngs = spawn_generators(seed + 1, end)[start:end]
+        written = []
+        for offset, (t_rng, r_rng) in enumerate(zip(tuple_rngs, trial_rngs)):
+            index = start + offset
+            tup = generate_tuples(
+                1, nmax=nmax, s_size=s_size, q_size=q_size, seed=t_rng
+            )[0]
+            tup = TaskSetTuple(S=tup.S, Q=tup.Q, index=index)
+            result = run_trials(tup, nmax, trials_per_tuple, seed=r_rng)
+            self.save_tuple(tup)
+            self.save_trials(result, index)
+            written.append(index)
+        return written
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def load_tuple(self, index: int, *, s_size: int = 16) -> TaskSetTuple:
+        """Read one tuple back (first *s_size* rows are S, the rest Q)."""
+        path = self._tuple_path(index)
+        rows = [
+            [float(x) for x in line.split(",")]
+            for line in path.read_text("utf-8").splitlines()
+            if line.strip()
+        ]
+        mat = np.asarray(rows)
+        if len(mat) <= s_size:
+            raise ValueError(f"{path}: expected more than {s_size} rows")
+
+        def build(section: np.ndarray, name: str) -> Workload:
+            return Workload.from_arrays(
+                submit=section[:, 2],
+                runtime=section[:, 0],
+                size=section[:, 1].astype(int),
+                name=name,
+            )
+
+        return TaskSetTuple(
+            S=build(mat[:s_size], f"tuple{index}/S"),
+            Q=build(mat[s_size:], f"tuple{index}/Q"),
+            index=index,
+        )
+
+    def gather(self) -> ScoreDistribution:
+        """``gather_data.py``: pool every trial file into one distribution."""
+        indices = self.tuple_indices()
+        parts = []
+        for index in indices:
+            path = self._trials_path(index)
+            if not path.exists():
+                continue
+            rows = [
+                [float(x) for x in line.split(",")]
+                for line in path.read_text("utf-8").splitlines()
+                if line.strip()
+            ]
+            mat = np.asarray(rows)
+            parts.append(mat)
+        if not parts:
+            raise ValueError(f"no training data under {self.training_data}")
+        mat = np.vstack(parts)
+        return ScoreDistribution(
+            runtime=mat[:, 0], size=mat[:, 1], submit=mat[:, 2], score=mat[:, 3]
+        )
+
+    def gather_to_csv(self, path: str | Path | None = None) -> Path:
+        """Write the pooled ``score-distribution.csv`` (artifact output)."""
+        dist = self.gather()
+        out = Path(path) if path is not None else self.root / "score-distribution.csv"
+        dist.to_csv(out)
+        return out

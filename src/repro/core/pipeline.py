@@ -1,0 +1,144 @@
+"""End-to-end policy-obtaining pipeline (§3: simulate → learn → policy).
+
+``obtain_policies`` chains the three phases the paper describes:
+
+1. generate ``(S, Q)`` tuples from the workload model
+   (:mod:`repro.core.taskgen`),
+2. run permutation trials and pool the score distribution
+   (:mod:`repro.core.trials` / :mod:`repro.core.distribution`),
+3. enumerate and fit the nonlinear function space, rank by Eq. 5, and
+   wrap the best candidates as scheduler-ready policies
+   (:mod:`repro.core.regression` / :class:`repro.policies.NonlinearPolicy`).
+
+This is the library's "train your own policies for your own platform"
+entry point, the customisation the paper's conclusion proposes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.distribution import ScoreDistribution
+from repro.core.functions import FittedFunction
+from repro.core.regression import RegressionConfig, fit_all
+from repro.core.taskgen import TaskSetTuple, generate_tuples
+from repro.core.trials import TrialScoreResult, run_trials
+from repro.policies.learned import NonlinearPolicy
+from repro.sim.metrics import DEFAULT_TAU
+from repro.util.rng import spawn_generators
+from repro.util.validation import check_positive_int
+from repro.workloads.lublin import LublinParams
+
+__all__ = ["PipelineConfig", "PipelineResult", "obtain_policies", "build_distribution"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All knobs of the training pipeline (paper defaults)."""
+
+    n_tuples: int = 32
+    trials_per_tuple: int = 2048
+    nmax: int = 256
+    s_size: int = 16
+    q_size: int = 32
+    seed: int = 0
+    tau: float = DEFAULT_TAU
+    top_k: int = 4
+    balanced_trials: bool = True
+    lublin_params: LublinParams | None = None
+    regression: RegressionConfig = field(default_factory=RegressionConfig)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_tuples", self.n_tuples)
+        check_positive_int("trials_per_tuple", self.trials_per_tuple)
+        check_positive_int("top_k", self.top_k)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything the pipeline produced, from raw trials to policies."""
+
+    config: PipelineConfig
+    tuples: list[TaskSetTuple]
+    trial_results: list[TrialScoreResult]
+    distribution: ScoreDistribution
+    fitted: list[FittedFunction]  # every candidate, ranked by Eq. 5
+    policies: list[NonlinearPolicy]  # top_k, best first
+
+    @property
+    def best(self) -> FittedFunction:
+        """The rank-1 fitted function."""
+        return self.fitted[0]
+
+    def report(self, k: int | None = None) -> str:
+        """Artifact-style listing of the top-k fitted functions."""
+        k = k if k is not None else self.config.top_k
+        lines = [
+            f"rank {i + 1}: {f.describe()}" for i, f in enumerate(self.fitted[:k])
+        ]
+        return "\n".join(lines)
+
+
+def build_distribution(
+    config: PipelineConfig,
+    progress: Callable[[str, int, int], None] | None = None,
+) -> tuple[list[TaskSetTuple], list[TrialScoreResult], ScoreDistribution]:
+    """Phases 1–2: tuples, trials, pooled score distribution."""
+    tuples = generate_tuples(
+        config.n_tuples,
+        nmax=config.nmax,
+        s_size=config.s_size,
+        q_size=config.q_size,
+        seed=config.seed,
+        params=config.lublin_params,
+    )
+    trial_seeds = spawn_generators(config.seed + 1, config.n_tuples)
+    results: list[TrialScoreResult] = []
+    for i, (tup, rng) in enumerate(zip(tuples, trial_seeds)):
+        results.append(
+            run_trials(
+                tup,
+                config.nmax,
+                config.trials_per_tuple,
+                seed=rng,
+                balanced=config.balanced_trials,
+                tau=config.tau,
+            )
+        )
+        if progress is not None:
+            progress("trials", i + 1, config.n_tuples)
+    return tuples, results, ScoreDistribution.from_trial_results(results)
+
+
+def obtain_policies(
+    config: PipelineConfig | None = None,
+    progress: Callable[[str, int, int], None] | None = None,
+) -> PipelineResult:
+    """Run the full §3 procedure and return ranked policies.
+
+    The returned policies are named ``P1``–``Pk`` (rank order) to avoid
+    confusion with the paper's published ``F1``–``F4``, which remain
+    available as :func:`repro.policies.paper_policies`.
+    """
+    config = config or PipelineConfig()
+    tuples, trial_results, dist = build_distribution(config, progress)
+
+    def regression_progress(done: int, total: int) -> None:
+        if progress is not None:
+            progress("regression", done, total)
+
+    fitted = fit_all(dist, config=config.regression, progress=regression_progress)
+    usable = [f for f in fitted if f.rank_error < float("inf")]
+    policies = [
+        NonlinearPolicy(f, name=f"P{i + 1}")
+        for i, f in enumerate(usable[: config.top_k])
+    ]
+    return PipelineResult(
+        config=config,
+        tuples=tuples,
+        trial_results=trial_results,
+        distribution=dist,
+        fitted=fitted,
+        policies=policies,
+    )

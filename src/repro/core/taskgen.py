@@ -1,0 +1,91 @@
+"""Task-set tuple generation for the simulation phase (§3.2).
+
+The training simulations observe scheduling behaviour over "several
+tuples of task sets (S, Q)": |S| = 16 warm-up jobs that occupy the
+machine first ("a realistic way to represent an initial resource state"),
+then |Q| = 32 probe jobs whose permutations are scored.
+
+Tuples are drawn from the Lublin–Feitelson model by default, each from an
+independent child seed, matching the artifact's
+``generate_simulation_data.py`` which generated fresh model output per
+tuple.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.sim.job import Workload
+from repro.util.rng import SeedLike, as_generator, spawn_generators
+from repro.util.validation import check_positive_int
+from repro.workloads.lublin import LublinParams, lublin_workload
+
+__all__ = ["TaskSetTuple", "generate_tuples", "split_tuple"]
+
+
+@dataclass(frozen=True)
+class TaskSetTuple:
+    """One (S, Q) pair: warm-up set S and probe set Q."""
+
+    S: Workload
+    Q: Workload
+    index: int
+
+    def __post_init__(self) -> None:
+        if len(self.S) == 0 or len(self.Q) == 0:
+            raise ValueError("both S and Q must be non-empty")
+        if self.S.submit[-1] > self.Q.submit[0]:
+            raise ValueError(
+                "all S jobs must arrive before the first Q job"
+                " (paper: Q arrives after all of S arrived)"
+            )
+
+
+def split_tuple(workload: Workload, s_size: int, q_size: int, index: int = 0) -> TaskSetTuple:
+    """Split the first ``s_size + q_size`` jobs of *workload* into (S, Q)."""
+    check_positive_int("s_size", s_size)
+    check_positive_int("q_size", q_size)
+    need = s_size + q_size
+    if len(workload) < need:
+        raise ValueError(f"workload has {len(workload)} jobs; need {need}")
+    import numpy as np
+
+    idx = np.arange(len(workload))
+    S = workload.select(idx[:s_size]).with_name(f"{workload.name}/S")
+    Q = workload.select(idx[s_size:need]).with_name(f"{workload.name}/Q")
+    return TaskSetTuple(S=S, Q=Q, index=index)
+
+
+def generate_tuples(
+    n_tuples: int,
+    *,
+    nmax: int = 256,
+    s_size: int = 16,
+    q_size: int = 32,
+    seed: SeedLike = None,
+    params: LublinParams | None = None,
+    workload_factory: Callable[[int, int, SeedLike], Workload] | None = None,
+) -> list[TaskSetTuple]:
+    """Generate *n_tuples* independent (S, Q) tuples.
+
+    Parameters default to the paper's configuration (nmax=256, |S|=16,
+    |Q|=32).  A custom *workload_factory* ``(n_jobs, nmax, seed) ->
+    Workload`` lets users train on their own platform's workload instead
+    of the Lublin model (the customisation path the paper's conclusion
+    envisions).
+    """
+    check_positive_int("n_tuples", n_tuples)
+    rng = as_generator(seed)
+    children = spawn_generators(rng, n_tuples)
+    total = s_size + q_size
+    tuples: list[TaskSetTuple] = []
+    for i, child in enumerate(children):
+        if workload_factory is not None:
+            wl = workload_factory(total, nmax, child)
+        else:
+            wl = lublin_workload(
+                total, nmax, seed=child, params=params, name=f"tuple{i}"
+            )
+        tuples.append(split_tuple(wl, s_size, q_size, index=i))
+    return tuples

@@ -1,0 +1,92 @@
+"""Generalisation checks for fitted functions (train/test methodology).
+
+The paper fits on all pooled observations and validates by *scheduling
+performance* on fresh workloads.  This module adds the complementary,
+cheaper check a practitioner wants during training: held-out rank error.
+If a candidate's Eq. 5 error explodes out of sample, it memorised the
+trial noise instead of the scheduling behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distribution import ScoreDistribution
+from repro.core.functions import FittedFunction
+from repro.core.regression import rank_error
+
+__all__ = ["train_test_split", "holdout_report", "HoldoutEntry"]
+
+
+def train_test_split(
+    dist: ScoreDistribution, test_fraction: float = 0.25, *, seed: int = 0
+) -> tuple[ScoreDistribution, ScoreDistribution]:
+    """Deterministically split observations into train and test sets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = len(dist)
+    if n < 4:
+        raise ValueError("need at least 4 observations to split")
+    n_test = max(int(round(n * test_fraction)), 1)
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(n)
+    test_idx = np.sort(idx[:n_test])
+    train_idx = np.sort(idx[n_test:])
+
+    def take(ix: np.ndarray) -> ScoreDistribution:
+        return ScoreDistribution(
+            runtime=dist.runtime[ix],
+            size=dist.size[ix],
+            submit=dist.submit[ix],
+            score=dist.score[ix],
+        )
+
+    return take(train_idx), take(test_idx)
+
+
+@dataclass(frozen=True)
+class HoldoutEntry:
+    """Train/test errors of one fitted candidate."""
+
+    fitted: FittedFunction
+    train_error: float
+    test_error: float
+
+    @property
+    def generalisation_gap(self) -> float:
+        """``test - train`` rank error (near zero for healthy fits)."""
+        return self.test_error - self.train_error
+
+
+def holdout_report(
+    fitted: list[FittedFunction],
+    train: ScoreDistribution,
+    test: ScoreDistribution,
+    *,
+    top_k: int = 10,
+) -> list[HoldoutEntry]:
+    """Evaluate the top candidates on held-out observations.
+
+    Entries come back in *test*-error order, which is the ranking a
+    cautious user should trust when picking deployment policies.
+    """
+    if not fitted:
+        raise ValueError("no fitted functions to evaluate")
+    entries = []
+    for f in fitted[:top_k]:
+        coeffs = np.asarray(f.coeffs)
+        if not np.all(np.isfinite(coeffs)):
+            continue
+        pred_train = f.spec.evaluate(coeffs, train.runtime, train.size, train.submit)
+        pred_test = f.spec.evaluate(coeffs, test.runtime, test.size, test.submit)
+        entries.append(
+            HoldoutEntry(
+                fitted=f,
+                train_error=rank_error(pred_train, train.score),
+                test_error=rank_error(pred_test, test.score),
+            )
+        )
+    entries.sort(key=lambda e: e.test_error)
+    return entries

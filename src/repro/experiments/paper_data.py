@@ -1,0 +1,61 @@
+"""Published numbers transcribed from the paper.
+
+Table 4 ("Median of the average bounded slowdowns from Subsections 4.2
+and 4.3") is the paper's central quantitative result; it is kept here
+verbatim so harnesses can print paper-vs-measured columns and tests can
+assert the *shape* claims (policy orderings, win factors) that a
+reproduction is expected to preserve.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "POLICY_COLUMNS",
+    "PAPER_TABLE4",
+    "PAPER_TABLE3",
+    "paper_row",
+]
+
+#: Column order of Table 4 (identical to the figures' x-axes).
+POLICY_COLUMNS: tuple[str, ...] = ("FCFS", "WFP", "UNI", "SPT", "F4", "F3", "F2", "F1")
+
+#: Table 3 — the four best nonlinear functions (simplified forms).
+PAPER_TABLE3: dict[str, str] = {
+    "F1": "log10(r) * n + 8.70e2 * log10(s)",
+    "F2": "sqrt(r) * n + 2.56e4 * log10(s)",
+    "F3": "r * n + 6.86e6 * log10(s)",
+    "F4": "r * sqrt(n) + 5.30e5 * log10(s)",
+}
+
+#: Table 4 rows, keyed by experiment id.  Values align with POLICY_COLUMNS.
+PAPER_TABLE4: dict[str, tuple[float, ...]] = {
+    "model_256_actual": (5846.87, 3630.66, 1799.74, 943.59, 583.89, 89.93, 29.65, 29.58),
+    "model_1024_actual": (10315.62, 7759.03, 4310.26, 4061.44, 1518.73, 831.18, 244.80, 217.13),
+    "model_256_estimates": (5846.87, 6021.69, 3561.56, 4415.27, 719.88, 405.68, 207.05, 33.03),
+    "model_1024_estimates": (10315.62, 9713.40, 5930.50, 7573.58, 2605.45, 2065.47, 1292.64, 249.80),
+    "model_256_backfill": (842.66, 654.81, 470.72, 623.86, 329.49, 163.74, 45.72, 32.82),
+    "model_1024_backfill": (3018.94, 3792.40, 2804.38, 3024.49, 1571.95, 1055.82, 490.77, 223.52),
+    "curie_actual": (227.67, 182.95, 93.76, 132.59, 20.25, 10.66, 3.58, 10.38),
+    "anl_intrepid_actual": (30.04, 11.78, 6.03, 3.34, 1.94, 1.71, 1.87, 2.14),
+    "sdsc_blue_actual": (299.83, 44.40, 20.37, 21.77, 14.33, 10.38, 4.31, 10.22),
+    "ctc_sp2_actual": (439.72, 309.72, 29.87, 87.55, 19.02, 14.06, 5.32, 10.27),
+    "curie_estimates": (227.67, 251.54, 135.53, 213.03, 48.45, 24.98, 12.47, 21.85),
+    "anl_intrepid_estimates": (30.04, 17.82, 11.42, 5.44, 4.15, 3.15, 2.57, 2.64),
+    "sdsc_blue_estimates": (299.83, 94.87, 39.69, 36.42, 24.26, 10.16, 9.88, 12.14),
+    "ctc_sp2_estimates": (439.72, 369.93, 98.58, 290.39, 31.23, 21.58, 13.78, 15.14),
+    "curie_backfill": (59.03, 49.23, 24.35, 35.72, 24.54, 23.91, 18.69, 21.73),
+    "anl_intrepid_backfill": (8.56, 6.00, 4.01, 3.70, 3.52, 2.87, 2.54, 2.64),
+    "sdsc_blue_backfill": (36.40, 17.76, 13.07, 10.20, 9.37, 10.18, 9.66, 11.97),
+    "ctc_sp2_backfill": (74.96, 54.32, 24.06, 17.32, 14.12, 14.40, 10.77, 14.07),
+}
+
+
+def paper_row(row_id: str) -> dict[str, float]:
+    """Table 4 row as a ``{policy: median}`` mapping."""
+    try:
+        values = PAPER_TABLE4[row_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown Table 4 row {row_id!r}; available: {', '.join(PAPER_TABLE4)}"
+        ) from None
+    return dict(zip(POLICY_COLUMNS, values))

@@ -1,0 +1,118 @@
+"""Experiment scale presets.
+
+The paper's full experimental scale — 256 k trials per tuple, ten 15-day
+sequences per experiment, machines up to 163 840 cores — was run on a Xeon
+with a C simulation core.  A pure-Python single-core session reproduces
+the same *shapes* at reduced scale; every harness therefore takes a
+:class:`Scale`, and the ``REPRO_SCALE`` environment variable picks the
+preset (``smoke`` < ``small`` < ``medium`` < ``paper``).
+
+EXPERIMENTS.md records which preset produced the checked-in numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Scale", "SCALES", "current_scale", "get_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that trade fidelity for runtime."""
+
+    name: str
+    # dynamic scheduling experiments (§4.2/4.3)
+    n_sequences: int
+    days: float
+    trace_jobs: int  # synthetic-trace length fed to sequence extraction
+    # training pipeline (§3.2/3.3)
+    n_tuples: int
+    trials_per_tuple: int
+    regression_max_points: int
+    # figure 2 convergence study
+    fig2_trial_counts: tuple[int, ...]
+    fig2_repeats: int
+
+    def __post_init__(self) -> None:
+        if self.n_sequences < 1 or self.days <= 0:
+            raise ValueError("scale must have >= 1 sequence of positive length")
+
+
+SCALES: dict[str, Scale] = {
+    # CI-speed sanity run: seconds.
+    "smoke": Scale(
+        name="smoke",
+        n_sequences=2,
+        days=0.25,
+        trace_jobs=1200,
+        n_tuples=2,
+        trials_per_tuple=64,
+        regression_max_points=500,
+        fig2_trial_counts=(32, 64, 128),
+        fig2_repeats=3,
+    ),
+    # Default for the checked-in benchmark outputs: minutes.
+    "small": Scale(
+        name="small",
+        n_sequences=4,
+        days=1.0,
+        trace_jobs=6000,
+        n_tuples=8,
+        trials_per_tuple=256,
+        regression_max_points=4000,
+        fig2_trial_counts=(32, 64, 128, 256, 512, 1024),
+        fig2_repeats=5,
+    ),
+    # Closer to the paper: tens of minutes.
+    "medium": Scale(
+        name="medium",
+        n_sequences=10,
+        days=4.0,
+        trace_jobs=40000,
+        n_tuples=24,
+        trials_per_tuple=2048,
+        regression_max_points=10000,
+        fig2_trial_counts=(128, 256, 512, 1024, 2048, 4096, 8192),
+        fig2_repeats=8,
+    ),
+    # The paper's configuration (expect many core-hours in pure Python).
+    "paper": Scale(
+        name="paper",
+        n_sequences=10,
+        days=15.0,
+        trace_jobs=250000,
+        n_tuples=128,
+        trials_per_tuple=256000,
+        regression_max_points=50000,
+        fig2_trial_counts=(
+            1000,
+            2000,
+            4000,
+            8000,
+            16000,
+            32000,
+            64000,
+            128000,
+            256000,
+            512000,
+        ),
+        fig2_repeats=10,
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; available: {', '.join(SCALES)}"
+        ) from None
+
+
+def current_scale(default: str = "small") -> Scale:
+    """The preset selected by ``REPRO_SCALE`` (default ``small``)."""
+    return get_scale(os.environ.get("REPRO_SCALE", default))

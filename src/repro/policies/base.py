@@ -1,0 +1,71 @@
+"""Policy interface.
+
+A scheduling policy assigns each waiting job a *score*; the queue is
+sorted in **increasing** score order (paper, §3.3: "tasks arriving into a
+centralized queue … can be sorted in increasing order of the output of
+these functions").  Ties are broken by submit time, then job index, so
+every policy yields a deterministic schedule.
+
+Scores receive the *processing time the scheduler knows* (``proc``): the
+actual runtime ``r`` in perfect-information experiments, the user estimate
+``e`` otherwise.  The engine decides which one to pass — policies never
+look at both.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Policy"]
+
+
+class Policy(abc.ABC):
+    """Base class for queue-ordering policies.
+
+    Attributes
+    ----------
+    name:
+        Display name used in tables and results.
+    dynamic:
+        ``True`` when the score depends on the current time (e.g. through
+        the waiting time ``w = now - submit``).  Static policies are
+        scored once at arrival; dynamic ones are re-scored every
+        rescheduling event.
+    """
+
+    name: str = "policy"
+    dynamic: bool = False
+
+    @abc.abstractmethod
+    def scores(
+        self,
+        now: float,
+        submit: np.ndarray,
+        proc: np.ndarray,
+        size: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized scores; lower runs first.
+
+        Parameters
+        ----------
+        now:
+            Current simulation time (ignored by static policies).
+        submit, proc, size:
+            Attribute arrays of the queued jobs: arrival time ``s``,
+            known processing time (``r`` or ``e``), and core count ``n``.
+        """
+
+    def score_job(self, now: float, submit: float, proc: float, size: int) -> float:
+        """Scalar convenience wrapper around :meth:`scores`."""
+        out = self.scores(
+            now,
+            np.asarray([submit], dtype=float),
+            np.asarray([proc], dtype=float),
+            np.asarray([size], dtype=float),
+        )
+        return float(out[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, dynamic={self.dynamic})"

@@ -1,0 +1,75 @@
+"""Classical scheduling policies (Table 2 plus textbook extras).
+
+The paper compares against First-Come-First-Served (``score = s``) and
+Shortest-Processing-Time first (``score = r``).  LPT and Smallest-Area
+-First are included as additional baselines for ablations; they follow the
+same score convention (lower score runs first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import Policy
+
+__all__ = ["FCFS", "SPT", "LPT", "SAF", "LAF", "SmallestSizeFirst"]
+
+
+class FCFS(Policy):
+    """First-Come, First-Served: ``score(t) = s_t``."""
+
+    name = "FCFS"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        return np.asarray(submit, dtype=float)
+
+
+class SPT(Policy):
+    """Shortest Processing Time first: ``score(t) = r_t``."""
+
+    name = "SPT"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        return np.asarray(proc, dtype=float)
+
+
+class LPT(Policy):
+    """Longest Processing Time first: ``score(t) = -r_t`` (Pinedo 2008)."""
+
+    name = "LPT"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        return -np.asarray(proc, dtype=float)
+
+
+class SAF(Policy):
+    """Smallest Area First: ``score(t) = r_t * n_t`` (core-seconds)."""
+
+    name = "SAF"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        return np.asarray(proc, dtype=float) * np.asarray(size, dtype=float)
+
+
+class LAF(Policy):
+    """Largest Area First: ``score(t) = -r_t * n_t``."""
+
+    name = "LAF"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        return -np.asarray(proc, dtype=float) * np.asarray(size, dtype=float)
+
+
+class SmallestSizeFirst(Policy):
+    """Fewest-cores-first: ``score(t) = n_t`` (a pure packing heuristic)."""
+
+    name = "SSF"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        return np.asarray(size, dtype=float)

@@ -1,0 +1,129 @@
+"""Learned nonlinear policies.
+
+Two flavours:
+
+* The paper's published best-four functions (Table 3) as ready-made
+  policies ``F1``–``F4`` — these are the exact simplified forms with the
+  merged coefficient in front of the ``log10(s)`` term.
+* :class:`NonlinearPolicy`, which wraps *any* fitted
+  :class:`~repro.core.functions.FittedFunction` produced by the
+  regression pipeline, so users can train policies on their own
+  workloads and drop them straight into the simulator.
+
+Domain guards: ``log10`` arguments are clamped to >= 1 (submit times start
+at 0 in re-based sequences; runtimes can be sub-second in traces).  The
+guards only touch values where the paper's functions are undefined, never
+the interior of the domain.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.policies.base import Policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.functions import FittedFunction
+
+__all__ = [
+    "F1",
+    "F2",
+    "F3",
+    "F4",
+    "NonlinearPolicy",
+    "paper_policies",
+]
+
+
+def _log10_safe(x: np.ndarray) -> np.ndarray:
+    return np.log10(np.maximum(np.asarray(x, dtype=float), 1.0))
+
+
+class F1(Policy):
+    """Table 3: ``log10(r) * n + 8.70e2 * log10(s)``."""
+
+    name = "F1"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        return _log10_safe(proc) * np.asarray(size, dtype=float) + 8.70e2 * _log10_safe(
+            submit
+        )
+
+
+class F2(Policy):
+    """Table 3: ``sqrt(r) * n + 2.56e4 * log10(s)``."""
+
+    name = "F2"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        proc = np.maximum(np.asarray(proc, dtype=float), 0.0)
+        return np.sqrt(proc) * np.asarray(size, dtype=float) + 2.56e4 * _log10_safe(
+            submit
+        )
+
+
+class F3(Policy):
+    """Table 3: ``r * n + 6.86e6 * log10(s)``."""
+
+    name = "F3"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        return np.asarray(proc, dtype=float) * np.asarray(
+            size, dtype=float
+        ) + 6.86e6 * _log10_safe(submit)
+
+
+class F4(Policy):
+    """Table 3: ``r * sqrt(n) + 5.30e5 * log10(s)``."""
+
+    name = "F4"
+    dynamic = False
+
+    def scores(self, now, submit, proc, size):
+        size = np.maximum(np.asarray(size, dtype=float), 0.0)
+        return np.asarray(proc, dtype=float) * np.sqrt(size) + 5.30e5 * _log10_safe(
+            submit
+        )
+
+
+def paper_policies() -> list[Policy]:
+    """The four published policies, in the paper's plotting order F4..F1."""
+    return [F4(), F3(), F2(), F1()]
+
+
+class NonlinearPolicy(Policy):
+    """Adapter turning a fitted nonlinear function into a queue policy.
+
+    The policy's score is ``f(proc, size, submit)`` — exactly the fitted
+    ``f(r, n, s)`` with the runtime slot fed whatever processing-time
+    information the engine knows (actual runtime or user estimate), as in
+    §4.2 of the paper ("the functions are parametrized by … processing
+    time r, which can be substituted by the user estimate e").
+    """
+
+    dynamic = False
+
+    def __init__(self, fitted: "FittedFunction", name: str | None = None) -> None:
+        self._fitted = fitted
+        self.name = name if name is not None else f"NL[{fitted.spec.short_name}]"
+
+    @property
+    def fitted(self) -> "FittedFunction":
+        """The underlying fitted function (spec + coefficients)."""
+        return self._fitted
+
+    def scores(self, now, submit, proc, size):
+        return self._fitted(
+            np.asarray(proc, dtype=float),
+            np.asarray(size, dtype=float),
+            np.asarray(submit, dtype=float),
+        )
+
+    def describe(self) -> str:
+        """Human-readable formula, artifact-output style."""
+        return self._fitted.describe()

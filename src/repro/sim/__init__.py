@@ -1,0 +1,75 @@
+"""Discrete-event cluster simulator (the paper's SimGrid substitute).
+
+Public surface:
+
+* :class:`~repro.sim.job.Job` / :class:`~repro.sim.job.Workload` — job data.
+* :func:`~repro.sim.engine.simulate` — online scheduling under a policy,
+  with optional user estimates and EASY backfilling.
+* :func:`~repro.sim.listsched.simulate_fixed_priority` — the fixed-priority
+  trial simulator used by the training phase.
+* :mod:`~repro.sim.metrics` — bounded slowdown (Eq. 1/2) and friends.
+"""
+
+from repro.sim.backfill import easy_backfill, shadow_schedule
+from repro.sim.conservative import AvailabilityProfile, conservative_starts
+from repro.sim.cluster import Cluster
+from repro.sim.engine import ScheduleResult, SimulationConfig, simulate
+from repro.sim.events import CompletionQueue
+from repro.sim.hetero import (
+    HeteroJob,
+    HeteroPlatform,
+    HeteroResult,
+    Variant,
+    hetero_simulate,
+)
+from repro.sim.job import Job, Workload, concat_workloads
+from repro.sim.listsched import simulate_fixed_priority
+from repro.sim.timeline import (
+    StepProfile,
+    busy_cores_profile,
+    profile_average,
+    queue_length_profile,
+    to_gantt_csv,
+)
+from repro.sim.metrics import (
+    DEFAULT_TAU,
+    average_bounded_slowdown,
+    bounded_slowdown,
+    makespan,
+    per_job_flow,
+    utilization,
+    waiting_times,
+)
+
+__all__ = [
+    "AvailabilityProfile",
+    "Cluster",
+    "CompletionQueue",
+    "DEFAULT_TAU",
+    "HeteroJob",
+    "HeteroPlatform",
+    "HeteroResult",
+    "Job",
+    "ScheduleResult",
+    "SimulationConfig",
+    "Workload",
+    "average_bounded_slowdown",
+    "bounded_slowdown",
+    "concat_workloads",
+    "easy_backfill",
+    "hetero_simulate",
+    "makespan",
+    "per_job_flow",
+    "shadow_schedule",
+    "StepProfile",
+    "Variant",
+    "busy_cores_profile",
+    "conservative_starts",
+    "profile_average",
+    "queue_length_profile",
+    "simulate",
+    "simulate_fixed_priority",
+    "to_gantt_csv",
+    "utilization",
+    "waiting_times",
+]

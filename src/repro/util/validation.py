@@ -1,0 +1,68 @@
+"""Argument-validation helpers with consistent error messages.
+
+The simulator and workload models validate aggressively at construction
+time so that errors surface where the bad value originated instead of
+deep inside an event loop thousands of events later.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Validate that *value* is a positive (or non-negative) finite number."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: Any, *, allow_zero: bool = False) -> int:
+    """Validate that *value* is a positive (or non-negative) integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``low <= value <= high`` (or strict, if not inclusive)."""
+    value = float(value)
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    elif not (low < value < high):
+        raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return value
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every element of *array* is finite."""
+    array = np.asarray(array)
+    if array.size and not np.all(np.isfinite(array)):
+        bad = int(np.flatnonzero(~np.isfinite(array.ravel()))[0])
+        raise ValueError(
+            f"{name} contains non-finite values (first at flat index {bad})"
+        )
+    return array

@@ -1,0 +1,165 @@
+"""Tests for the repro-sched command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_known(self):
+        parser = build_parser()
+        for cmd in ("train", "simulate", "table4", "figures", "trace", "info"):
+            args = parser.parse_args([cmd] if cmd != "trace" else [cmd, "curie"])
+            assert args.command == cmd
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "FCFS" in out
+        assert "curie" in out
+        assert "model_256_actual" in out
+
+
+class TestSimulate:
+    def test_model_simulation(self, capsys):
+        assert main(["simulate", "--policy", "F1", "--jobs", "150", "--nmax", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=F1" in out
+        assert "AVEbsld=" in out
+
+    def test_backfill_flags(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "FCFS",
+                "--jobs",
+                "100",
+                "--nmax",
+                "64",
+                "--estimates",
+                "--backfill",
+            ]
+        )
+        assert code == 0
+        assert "backfilled=" in capsys.readouterr().out
+
+    def test_trace_simulation(self, capsys):
+        assert main(["simulate", "--trace", "ctc_sp2", "--jobs", "200"]) == 0
+        assert "AVEbsld=" in capsys.readouterr().out
+
+    def test_swf_replay(self, tmp_path, capsys):
+        import repro
+
+        wl = repro.lublin_workload(50, nmax=32, seed=0)
+        path = tmp_path / "t.swf"
+        repro.write_swf(wl, path)
+        assert main(["simulate", "--swf", str(path), "--policy", "SPT"]) == 0
+        assert "jobs=50" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_emit_to_stdout(self, capsys):
+        assert main(["trace", "ctc_sp2", "--jobs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "; Computer: CTC SP2" in out
+
+    def test_emit_to_file(self, tmp_path, capsys):
+        path = tmp_path / "curie.swf"
+        assert main(["trace", "curie", "--jobs", "20", "--output", str(path)]) == 0
+        assert path.exists()
+        assert "20 jobs written" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_figure3_fast(self, capsys):
+        assert main(["figures", "--figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3 panel rn" in out
+
+    def test_figure1_smoke_scale(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["figures", "--figure", "1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+
+class TestTable4:
+    def test_single_row_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["table4", "--rows", "ctc_sp2_actual", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Medians:" in out
+        assert "paper" in out
+
+    def test_unknown_row_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table4", "--rows", "bogus"])
+
+
+class TestTrain:
+    def test_tiny_training_run(self, capsys, tmp_path):
+        out_csv = tmp_path / "dist.csv"
+        code = main(
+            [
+                "train",
+                "--tuples",
+                "1",
+                "--trials",
+                "32",
+                "--scale",
+                "smoke",
+                "--top",
+                "2",
+                "--output",
+                str(out_csv),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank 1:" in out
+        assert out_csv.exists()
+
+
+class TestAnalyze:
+    def test_model_profile(self, capsys):
+        assert main(["analyze", "--jobs", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "serial fraction" in out
+        assert "offered load" in out
+
+    def test_agreement_matrix(self, capsys):
+        assert main(["analyze", "--jobs", "300", "--agreement", "FCFS", "SPT"]) == 0
+        out = capsys.readouterr().out
+        assert "Kendall tau" in out
+        assert "1.00" in out
+
+    def test_trace_profile(self, capsys):
+        assert main(["analyze", "--trace", "ctc_sp2", "--jobs", "300"]) == 0
+        assert "CTC SP2" in capsys.readouterr().out
+
+    def test_swf_profile(self, tmp_path, capsys):
+        import repro
+
+        wl = repro.lublin_workload(60, nmax=32, seed=0)
+        path = tmp_path / "x.swf"
+        repro.write_swf(wl, path)
+        assert main(["analyze", "--swf", str(path)]) == 0
+        assert "60 jobs" in capsys.readouterr().out
+
+
+class TestFiguresExport:
+    def test_output_dir_written(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        out = tmp_path / "figdata"
+        assert main(["figures", "--figure", "2", "--output-dir", str(out)]) == 0
+        files = sorted(p.name for p in out.iterdir())
+        assert "fig2_convergence.csv" in files
+        text = (out / "fig2_convergence.csv").read_text()
+        assert text.splitlines()[1] == "trials,normalized_std"

@@ -1,0 +1,86 @@
+"""Tests for (S, Q) tuple generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.taskgen import TaskSetTuple, generate_tuples, split_tuple
+from repro.workloads.lublin import LublinParams, lublin_workload
+
+
+class TestSplitTuple:
+    def test_sizes(self):
+        wl = lublin_workload(48, seed=0)
+        tup = split_tuple(wl, 16, 32)
+        assert len(tup.S) == 16
+        assert len(tup.Q) == 32
+
+    def test_s_before_q(self):
+        wl = lublin_workload(48, seed=0)
+        tup = split_tuple(wl, 16, 32)
+        assert tup.S.submit[-1] <= tup.Q.submit[0]
+
+    def test_too_small_workload(self):
+        wl = lublin_workload(10, seed=0)
+        with pytest.raises(ValueError, match="need 48"):
+            split_tuple(wl, 16, 32)
+
+    def test_invalid_ordering_rejected(self):
+        wl = lublin_workload(48, seed=0)
+        good = split_tuple(wl, 16, 32)
+        with pytest.raises(ValueError, match="before the first Q job"):
+            TaskSetTuple(S=good.Q, Q=good.S, index=0)  # swapped
+
+    def test_names(self):
+        wl = lublin_workload(48, seed=0, name="w")
+        tup = split_tuple(wl, 16, 32)
+        assert tup.S.name.endswith("/S")
+        assert tup.Q.name.endswith("/Q")
+
+
+class TestGenerateTuples:
+    def test_paper_defaults(self):
+        tuples = generate_tuples(3, seed=0)
+        assert len(tuples) == 3
+        for t in tuples:
+            assert len(t.S) == 16
+            assert len(t.Q) == 32
+            t.S.validate_for_machine(256)
+            t.Q.validate_for_machine(256)
+
+    def test_indices(self):
+        tuples = generate_tuples(3, seed=0)
+        assert [t.index for t in tuples] == [0, 1, 2]
+
+    def test_independent_tuples(self):
+        a, b = generate_tuples(2, seed=0)
+        assert not np.array_equal(a.Q.runtime, b.Q.runtime)
+
+    def test_reproducible(self):
+        a = generate_tuples(2, seed=7)
+        b = generate_tuples(2, seed=7)
+        np.testing.assert_array_equal(a[0].Q.runtime, b[0].Q.runtime)
+        np.testing.assert_array_equal(a[1].S.submit, b[1].S.submit)
+
+    def test_custom_sizes(self):
+        tuples = generate_tuples(1, s_size=4, q_size=8, seed=0)
+        assert len(tuples[0].S) == 4
+        assert len(tuples[0].Q) == 8
+
+    def test_custom_params(self):
+        params = LublinParams(serial_prob=1.0, pow2_prob=0.0)
+        tuples = generate_tuples(1, seed=0, params=params)
+        assert np.all(tuples[0].Q.size == 1)
+
+    def test_custom_factory(self):
+        calls = []
+
+        def factory(n_jobs, nmax, seed):
+            calls.append((n_jobs, nmax))
+            return lublin_workload(n_jobs, nmax, seed=seed)
+
+        generate_tuples(2, nmax=64, workload_factory=factory, seed=0)
+        assert calls == [(48, 64), (48, 64)]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_tuples(0)

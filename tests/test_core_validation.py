@@ -1,0 +1,109 @@
+"""Tests for hold-out validation of fitted functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import ScoreDistribution
+from repro.core.functions import FittedFunction, FunctionSpec
+from repro.core.regression import RegressionConfig, fit_function
+from repro.core.validation import holdout_report, train_test_split
+
+
+def make_dist(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    r = rng.uniform(1, 1e4, n)
+    size = rng.integers(1, 256, n).astype(float)
+    s = rng.uniform(1, 1e5, n)
+    spec = FunctionSpec("id", "id", "log", "*", "+")
+    y = spec.evaluate(np.array([1e-4, 1e-2, 3.0]), r, size, s)
+    y += 0.01 * rng.standard_normal(n)
+    return ScoreDistribution(runtime=r, size=size, submit=s, score=y)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(make_dist(100), 0.25, seed=1)
+        assert len(test) == 25
+        assert len(train) == 75
+
+    def test_disjoint_and_complete(self):
+        dist = make_dist(60)
+        train, test = train_test_split(dist, 0.5, seed=2)
+        merged = np.sort(np.concatenate([train.runtime, test.runtime]))
+        np.testing.assert_array_equal(merged, np.sort(dist.runtime))
+
+    def test_deterministic(self):
+        d = make_dist(50)
+        a_train, _ = train_test_split(d, 0.2, seed=3)
+        b_train, _ = train_test_split(d, 0.2, seed=3)
+        np.testing.assert_array_equal(a_train.runtime, b_train.runtime)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dist(10), 0.0)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dist(2), 0.5)
+
+
+class TestHoldoutReport:
+    def test_healthy_fit_small_gap(self):
+        dist = make_dist(400)
+        train, test = train_test_split(dist, 0.25, seed=0)
+        spec = FunctionSpec("id", "id", "log", "*", "+")
+        fitted = fit_function(spec, train, RegressionConfig(weighted=False))
+        entries = holdout_report([fitted], train, test)
+        assert len(entries) == 1
+        e = entries[0]
+        assert e.test_error < 5 * max(e.train_error, 1e-6)
+        assert abs(e.generalisation_gap) == pytest.approx(
+            e.test_error - e.train_error
+        )
+
+    def test_sorted_by_test_error(self):
+        dist = make_dist(300)
+        train, test = train_test_split(dist, 0.3, seed=1)
+        good = fit_function(
+            FunctionSpec("id", "id", "log", "*", "+"),
+            train,
+            RegressionConfig(weighted=False),
+        )
+        bad = fit_function(
+            FunctionSpec("inv", "inv", "inv", "+", "+"),
+            train,
+            RegressionConfig(weighted=False),
+        )
+        entries = holdout_report([bad, good], train, test)
+        errors = [e.test_error for e in entries]
+        assert errors == sorted(errors)
+        assert entries[0].fitted.spec == good.spec
+
+    def test_nonfinite_coefficients_skipped(self):
+        dist = make_dist(100)
+        train, test = train_test_split(dist, 0.3, seed=2)
+        broken = FittedFunction(
+            spec=FunctionSpec("id", "id", "id", "+", "+"),
+            coeffs=(float("nan"),) * 3,
+            rank_error=float("inf"),
+            weighted_sse=float("inf"),
+            n_observations=0,
+        )
+        assert holdout_report([broken], train, test) == []
+
+    def test_empty_rejected(self):
+        dist = make_dist(100)
+        train, test = train_test_split(dist, 0.3)
+        with pytest.raises(ValueError):
+            holdout_report([], train, test)
+
+    def test_top_k_limits(self):
+        dist = make_dist(100)
+        train, test = train_test_split(dist, 0.3)
+        f = fit_function(
+            FunctionSpec("id", "id", "id", "+", "+"),
+            train,
+            RegressionConfig(weighted=False),
+        )
+        entries = holdout_report([f] * 5, train, test, top_k=2)
+        assert len(entries) == 2

@@ -1,0 +1,123 @@
+"""Tests for CSV export of figure/table data."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.dynamic import DynamicExperimentResult
+from repro.experiments.export import (
+    experiment_to_csv,
+    fig1_to_csv,
+    fig2_to_csv,
+    fig3_to_csv,
+    write_all,
+)
+from repro.experiments.figures import (
+    Fig1Result,
+    Fig2Result,
+    fig3_policy_maps,
+)
+
+
+@pytest.fixture
+def fig1():
+    return Fig1Result(
+        panels=[np.array([0.03, 0.04]), np.array([0.02, 0.05])], q_size=2
+    )
+
+
+@pytest.fixture
+def fig2():
+    return Fig2Result(
+        trial_counts=(32, 64), normalized_std=np.array([0.5, 0.3]), repeats=4
+    )
+
+
+@pytest.fixture
+def experiment():
+    return DynamicExperimentResult(
+        name="demo",
+        policy_names=("FCFS", "F1"),
+        samples={"FCFS": np.array([10.0, 20.0]), "F1": np.array([1.0, 2.0])},
+        nmax=256,
+        use_estimates=False,
+        backfill=False,
+        n_sequences=2,
+        days=1.0,
+    )
+
+
+class TestFig1Csv:
+    def test_rows(self, fig1):
+        csv = fig1_to_csv(fig1)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("# mean_line=0.5")
+        assert lines[1] == "panel,task_id,score"
+        assert len(lines) == 2 + 4
+
+    def test_values_roundtrip(self, fig1):
+        csv = fig1_to_csv(fig1)
+        row = csv.strip().splitlines()[2].split(",")
+        assert float(row[2]) == 0.03
+
+
+class TestFig2Csv:
+    def test_series(self, fig2):
+        csv = fig2_to_csv(fig2)
+        assert "trials,normalized_std" in csv
+        assert "32,0.5" in csv
+        assert "64,0.3" in csv
+
+
+class TestFig3Csv:
+    def test_long_format(self):
+        maps = fig3_policy_maps("rn", resolution=4)
+        csv = fig3_to_csv(maps)
+        lines = csv.strip().splitlines()
+        assert lines[1] == "policy,r,n,priority"
+        # 4 policies x 4x4 grid
+        assert len(lines) == 2 + 4 * 16
+
+    def test_values_normalized(self):
+        maps = fig3_policy_maps("ns", resolution=4)
+        csv = fig3_to_csv(maps)
+        values = [float(l.split(",")[3]) for l in csv.strip().splitlines()[2:]]
+        assert min(values) >= 0.0 and max(values) <= 1.0
+
+
+class TestExperimentCsv:
+    def test_samples(self, experiment):
+        csv = experiment_to_csv(experiment)
+        assert "policy,sequence,ave_bsld" in csv
+        assert "FCFS,0,10" in csv
+        assert "F1,1,2" in csv
+
+    def test_metadata_comment(self, experiment):
+        head = experiment_to_csv(experiment).splitlines()[0]
+        assert "experiment=demo" in head
+        assert "nmax=256" in head
+
+
+class TestWriteAll:
+    def test_writes_everything(self, tmp_path, fig1, fig2, experiment):
+        maps = [fig3_policy_maps("rn", resolution=4)]
+        paths = write_all(
+            tmp_path / "out",
+            fig1=fig1,
+            fig2=fig2,
+            fig3_panels=maps,
+            experiments=[experiment],
+        )
+        names = sorted(p.name for p in paths)
+        assert names == [
+            "experiment_demo.csv",
+            "fig1_trial_scores.csv",
+            "fig2_convergence.csv",
+            "fig3_rn.csv",
+        ]
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_empty_call_creates_dir_only(self, tmp_path):
+        out = write_all(tmp_path / "empty")
+        assert out == []
+        assert (tmp_path / "empty").is_dir()

@@ -1,0 +1,113 @@
+"""Tests for the Table 4 experiment declarations and runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_data import PAPER_TABLE4, POLICY_COLUMNS, paper_row
+from repro.experiments.scale import SCALES
+from repro.experiments.table4 import TABLE4_ROWS, build_row_workload, row_ids, run_row
+
+
+class TestDeclarations:
+    def test_eighteen_rows(self):
+        assert len(TABLE4_ROWS) == 18
+
+    def test_row_ids_match_paper_data(self):
+        assert set(row_ids()) == set(PAPER_TABLE4)
+
+    def test_paper_order(self):
+        ids = row_ids()
+        assert ids[0] == "model_256_actual"
+        assert ids[1] == "model_1024_actual"
+        assert ids[5] == "model_1024_backfill"
+        assert ids[6] == "curie_actual"
+        assert ids[-1] == "ctc_sp2_backfill"
+
+    def test_modes_consistent(self):
+        for row in TABLE4_ROWS:
+            if row.row_id.endswith("_actual"):
+                assert not row.use_estimates and not row.backfill
+            elif row.row_id.endswith("_estimates"):
+                assert row.use_estimates and not row.backfill
+            else:
+                assert row.use_estimates and row.backfill
+
+    def test_paper_medians_attached(self):
+        row = TABLE4_ROWS[0]
+        assert row.paper_medians["FCFS"] == pytest.approx(5846.87)
+        assert row.paper_medians["F1"] == pytest.approx(29.58)
+
+
+class TestPaperData:
+    def test_all_rows_have_8_columns(self):
+        for rid, values in PAPER_TABLE4.items():
+            assert len(values) == 8, rid
+
+    def test_paper_row_mapping(self):
+        row = paper_row("ctc_sp2_backfill")
+        assert row["F2"] == pytest.approx(10.77)
+
+    def test_unknown_row(self):
+        with pytest.raises(KeyError):
+            paper_row("nope")
+
+    def test_published_headline_claims(self):
+        """Shape claims the paper states in prose, asserted on its table."""
+        for rid, values in PAPER_TABLE4.items():
+            by = dict(zip(POLICY_COLUMNS, values))
+            # learned policies beat FCFS everywhere
+            best_learned = min(by["F1"], by["F2"], by["F3"], by["F4"])
+            assert best_learned < by["FCFS"], rid
+        # §4.2.3: F1 with backfilling > 12x better than best ad-hoc
+        row = paper_row("model_256_backfill")
+        best_adhoc = min(row["FCFS"], row["WFP"], row["UNI"], row["SPT"])
+        assert best_adhoc / row["F1"] > 12.0
+
+
+class TestBuildRowWorkload:
+    def test_model_row(self):
+        wl, nmax = build_row_workload(TABLE4_ROWS[0], SCALES["smoke"], seed=0)
+        assert nmax == 256
+        assert wl.span >= SCALES["smoke"].n_sequences * SCALES["smoke"].days * 86400.0
+
+    def test_trace_row(self):
+        row = next(r for r in TABLE4_ROWS if r.source == "ctc_sp2")
+        scale = SCALES["smoke"]
+        wl, nmax = build_row_workload(row, scale, seed=0)
+        assert nmax == 338
+        assert len(wl) >= scale.trace_jobs
+        assert wl.span >= scale.n_sequences * scale.days * 86400.0
+
+    def test_same_stream_across_modes(self):
+        """Rows 1/3/5 share the workload (only the regime changes)."""
+        actual = next(r for r in TABLE4_ROWS if r.row_id == "model_256_actual")
+        backfill = next(r for r in TABLE4_ROWS if r.row_id == "model_256_backfill")
+        wa, _ = build_row_workload(actual, SCALES["smoke"], seed=3)
+        wb, _ = build_row_workload(backfill, SCALES["smoke"], seed=3)
+        np.testing.assert_array_equal(wa.submit, wb.submit)
+        np.testing.assert_array_equal(wa.estimate, wb.estimate)
+
+
+class TestRunRow:
+    @pytest.fixture(scope="class")
+    def smoke_result(self):
+        return run_row("model_256_actual", SCALES["smoke"], seed=0)
+
+    def test_runs_all_policies(self, smoke_result):
+        assert smoke_result.policy_names == POLICY_COLUMNS
+
+    def test_sample_counts(self, smoke_result):
+        for name in POLICY_COLUMNS:
+            assert len(smoke_result.samples[name]) == SCALES["smoke"].n_sequences
+
+    def test_by_string_id(self):
+        res = run_row("ctc_sp2_actual", SCALES["smoke"], seed=0, policies=("FCFS", "F1"))
+        assert res.policy_names == ("FCFS", "F1")
+
+    def test_unknown_row(self):
+        with pytest.raises(KeyError):
+            run_row("model_512_actual", SCALES["smoke"])
+
+    def test_shape_learned_beats_fcfs(self, smoke_result):
+        med = smoke_result.medians()
+        assert min(med["F1"], med["F2"]) <= med["FCFS"]

@@ -1,0 +1,86 @@
+"""Tests for the smart ad-hoc policies WFP3 and UNICEF (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.policies.adhoc import UNICEF, WFP3
+
+
+class TestWFP3:
+    def test_formula(self):
+        # score = -(w/r)^3 * n
+        p = WFP3()
+        out = p.scores(100.0, np.array([0.0]), np.array([10.0]), np.array([4.0]))
+        assert out[0] == pytest.approx(-((100.0 / 10.0) ** 3) * 4.0)
+
+    def test_dynamic_flag(self):
+        assert WFP3().dynamic is True
+
+    def test_zero_wait_is_zero(self):
+        out = WFP3().scores(5.0, np.array([5.0]), np.array([10.0]), np.array([4.0]))
+        assert out[0] == 0.0
+
+    def test_wait_clamped_nonnegative(self):
+        # job "arriving in the future" must not get a positive score boost
+        out = WFP3().scores(0.0, np.array([10.0]), np.array([10.0]), np.array([4.0]))
+        assert out[0] == 0.0
+
+    def test_longer_wait_higher_priority(self):
+        p = WFP3()
+        waited = p.score_job(100.0, 0.0, 10.0, 4)
+        fresh = p.score_job(100.0, 90.0, 10.0, 4)
+        assert waited < fresh  # lower score runs first
+
+    def test_bigger_job_higher_priority_at_equal_wait_ratio(self):
+        """The n factor boosts large jobs, preventing their starvation."""
+        p = WFP3()
+        small = p.score_job(100.0, 0.0, 10.0, 1)
+        big = p.score_job(100.0, 0.0, 10.0, 128)
+        assert big < small
+
+    def test_short_job_favoured(self):
+        p = WFP3()
+        short = p.score_job(100.0, 0.0, 1.0, 4)
+        long = p.score_job(100.0, 0.0, 100.0, 4)
+        assert short < long
+
+    def test_subsecond_runtime_guard(self):
+        out = WFP3().scores(100.0, np.array([0.0]), np.array([0.001]), np.array([1.0]))
+        assert np.isfinite(out[0])
+
+
+class TestUNICEF:
+    def test_formula(self):
+        # score = -w / (log2(n) * r), n=4 -> log2 = 2
+        out = UNICEF().scores(20.0, np.array([0.0]), np.array([10.0]), np.array([4.0]))
+        assert out[0] == pytest.approx(-20.0 / (2.0 * 10.0))
+
+    def test_dynamic_flag(self):
+        assert UNICEF().dynamic is True
+
+    def test_serial_job_no_division_by_zero(self):
+        """log2(1) = 0 would explode; the guard clamps the denominator."""
+        out = UNICEF().scores(20.0, np.array([0.0]), np.array([10.0]), np.array([1.0]))
+        assert np.isfinite(out[0])
+        assert out[0] < 0
+
+    def test_small_jobs_favoured(self):
+        """UNI gives fast turnaround to small jobs (paper §4)."""
+        p = UNICEF()
+        small = p.score_job(100.0, 0.0, 10.0, 2)
+        big = p.score_job(100.0, 0.0, 10.0, 256)
+        assert small < big
+
+    def test_short_jobs_favoured(self):
+        p = UNICEF()
+        short = p.score_job(100.0, 0.0, 1.0, 4)
+        long = p.score_job(100.0, 0.0, 1000.0, 4)
+        assert short < long
+
+    def test_zero_wait_neutral(self):
+        out = UNICEF().scores(0.0, np.array([0.0]), np.array([10.0]), np.array([4.0]))
+        assert out[0] == 0.0
+
+    def test_wait_clamped(self):
+        out = UNICEF().scores(0.0, np.array([50.0]), np.array([10.0]), np.array([4.0]))
+        assert out[0] == 0.0

@@ -1,0 +1,99 @@
+"""Tests for classical policies (Table 2 plus extras)."""
+
+import numpy as np
+import pytest
+
+from repro.policies.classic import FCFS, LAF, LPT, SAF, SPT, SmallestSizeFirst
+
+SUBMIT = np.array([0.0, 10.0, 20.0])
+PROC = np.array([100.0, 50.0, 200.0])
+SIZE = np.array([4.0, 2.0, 1.0])
+
+
+def order(policy, now=0.0):
+    return np.argsort(policy.scores(now, SUBMIT, PROC, SIZE), kind="stable")
+
+
+class TestFCFS:
+    def test_score_is_submit(self):
+        np.testing.assert_array_equal(FCFS().scores(0.0, SUBMIT, PROC, SIZE), SUBMIT)
+
+    def test_order(self):
+        np.testing.assert_array_equal(order(FCFS()), [0, 1, 2])
+
+    def test_static(self):
+        assert FCFS().dynamic is False
+
+    def test_time_invariant(self):
+        a = FCFS().scores(0.0, SUBMIT, PROC, SIZE)
+        b = FCFS().scores(1e6, SUBMIT, PROC, SIZE)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSPT:
+    def test_score_is_proc(self):
+        np.testing.assert_array_equal(SPT().scores(0.0, SUBMIT, PROC, SIZE), PROC)
+
+    def test_order_shortest_first(self):
+        np.testing.assert_array_equal(order(SPT()), [1, 0, 2])
+
+    def test_uses_given_proc_not_runtime(self):
+        """The engine decides whether proc is r or e; SPT just uses it."""
+        est = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(SPT().scores(0.0, SUBMIT, est, SIZE), est)
+
+
+class TestLPT:
+    def test_order_longest_first(self):
+        np.testing.assert_array_equal(order(LPT()), [2, 0, 1])
+
+    def test_is_negation_of_spt(self):
+        np.testing.assert_array_equal(
+            LPT().scores(0.0, SUBMIT, PROC, SIZE),
+            -SPT().scores(0.0, SUBMIT, PROC, SIZE),
+        )
+
+
+class TestAreaPolicies:
+    def test_saf_score(self):
+        np.testing.assert_array_equal(
+            SAF().scores(0.0, SUBMIT, PROC, SIZE), PROC * SIZE
+        )
+
+    def test_saf_order(self):
+        # areas: 400, 100, 200
+        np.testing.assert_array_equal(order(SAF()), [1, 2, 0])
+
+    def test_laf_is_negation(self):
+        np.testing.assert_array_equal(
+            LAF().scores(0.0, SUBMIT, PROC, SIZE),
+            -SAF().scores(0.0, SUBMIT, PROC, SIZE),
+        )
+
+    def test_ssf_orders_by_size(self):
+        np.testing.assert_array_equal(order(SmallestSizeFirst()), [2, 1, 0])
+
+
+class TestPolicyInterface:
+    @pytest.mark.parametrize(
+        "policy", [FCFS(), SPT(), LPT(), SAF(), LAF(), SmallestSizeFirst()]
+    )
+    def test_score_job_scalar_matches_vector(self, policy):
+        vec = policy.scores(5.0, SUBMIT, PROC, SIZE)
+        for i in range(3):
+            scalar = policy.score_job(5.0, SUBMIT[i], PROC[i], int(SIZE[i]))
+            assert scalar == pytest.approx(vec[i])
+
+    @pytest.mark.parametrize(
+        "policy", [FCFS(), SPT(), LPT(), SAF(), LAF(), SmallestSizeFirst()]
+    )
+    def test_all_static(self, policy):
+        assert policy.dynamic is False
+
+    @pytest.mark.parametrize(
+        "policy", [FCFS(), SPT(), LPT(), SAF(), LAF(), SmallestSizeFirst()]
+    )
+    def test_output_shape_and_dtype(self, policy):
+        out = policy.scores(0.0, SUBMIT, PROC, SIZE)
+        assert out.shape == SUBMIT.shape
+        assert out.dtype == np.float64

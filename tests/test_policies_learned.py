@@ -1,0 +1,118 @@
+"""Tests for the learned policies F1-F4 (Table 3) and NonlinearPolicy."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import FittedFunction, FunctionSpec
+from repro.policies.learned import F1, F2, F3, F4, NonlinearPolicy, paper_policies
+
+
+class TestPublishedFormulas:
+    """Each Fi must compute exactly its Table 3 expression."""
+
+    R = np.array([100.0, 1000.0])
+    N = np.array([4.0, 64.0])
+    S = np.array([50.0, 5000.0])
+
+    def test_f1(self):
+        expected = np.log10(self.R) * self.N + 8.70e2 * np.log10(self.S)
+        np.testing.assert_allclose(F1().scores(0.0, self.S, self.R, self.N), expected)
+
+    def test_f2(self):
+        expected = np.sqrt(self.R) * self.N + 2.56e4 * np.log10(self.S)
+        np.testing.assert_allclose(F2().scores(0.0, self.S, self.R, self.N), expected)
+
+    def test_f3(self):
+        expected = self.R * self.N + 6.86e6 * np.log10(self.S)
+        np.testing.assert_allclose(F3().scores(0.0, self.S, self.R, self.N), expected)
+
+    def test_f4(self):
+        expected = self.R * np.sqrt(self.N) + 5.30e5 * np.log10(self.S)
+        np.testing.assert_allclose(F4().scores(0.0, self.S, self.R, self.N), expected)
+
+    @pytest.mark.parametrize("policy", [F1(), F2(), F3(), F4()])
+    def test_static(self, policy):
+        assert policy.dynamic is False
+
+    @pytest.mark.parametrize("policy", [F1(), F2(), F3(), F4()])
+    def test_log_guard_at_zero_submit(self, policy):
+        """First job of a re-based sequence has s=0; scores stay finite."""
+        out = policy.scores(0.0, np.array([0.0]), np.array([100.0]), np.array([4.0]))
+        assert np.isfinite(out[0])
+
+    @pytest.mark.parametrize("policy", [F1(), F2(), F3(), F4()])
+    def test_earlier_submit_higher_priority(self, policy):
+        early = policy.score_job(0.0, 10.0, 100.0, 4)
+        late = policy.score_job(0.0, 1e6, 100.0, 4)
+        assert early < late
+
+    @pytest.mark.parametrize("policy", [F1(), F2(), F3(), F4()])
+    def test_smaller_job_higher_priority_at_equal_submit(self, policy):
+        small = policy.score_job(0.0, 100.0, 10.0, 2)
+        big = policy.score_job(0.0, 100.0, 1e4, 256)
+        assert small < big
+
+
+class TestSubmitDominance:
+    """Figures 3b/3c: the log10(s) coefficient dominates task size."""
+
+    @pytest.mark.parametrize("policy", [F2(), F3(), F4()])
+    def test_old_big_job_beats_fresh_small_job(self, policy):
+        # A task submitted at s=1 with the largest r,n of the training
+        # domain still outranks a tiny task submitted much later.
+        old_big = policy.score_job(0.0, 1.0, 2.7e4, 256)
+        fresh_small = policy.score_job(0.0, 1e5, 1.0, 1)
+        assert old_big < fresh_small
+
+    def test_f1_size_term_can_compete(self):
+        """F1's small constant (870) lets job size matter across moderate
+        submit gaps — this is what differentiates it from near-FCFS."""
+        big = F1().score_job(0.0, 100.0, 2.7e4, 256)  # log10(r)*n ~ 1134
+        later_small = F1().score_job(0.0, 200.0, 10.0, 1)
+        assert later_small < big
+
+
+class TestPaperPolicies:
+    def test_order_and_names(self):
+        names = [p.name for p in paper_policies()]
+        assert names == ["F4", "F3", "F2", "F1"]
+
+    def test_fresh_instances(self):
+        a, b = paper_policies(), paper_policies()
+        assert a[0] is not b[0]
+
+
+class TestNonlinearPolicy:
+    def _fitted(self):
+        spec = FunctionSpec(alpha="id", beta="id", gamma="log", op1="*", op2="+")
+        return FittedFunction(
+            spec=spec,
+            coeffs=(1.0, 1.0, 6.86e6),
+            rank_error=0.001,
+            weighted_sse=0.1,
+            n_observations=10,
+        )
+
+    def test_matches_f3_shape(self):
+        policy = NonlinearPolicy(self._fitted())
+        r, n, s = np.array([100.0]), np.array([8.0]), np.array([50.0])
+        np.testing.assert_allclose(
+            policy.scores(0.0, s, r, n), F3().scores(0.0, s, r, n), rtol=1e-12
+        )
+
+    def test_default_name(self):
+        assert NonlinearPolicy(self._fitted()).name == "NL[id(r)*id(n)+log(s)]"
+
+    def test_custom_name(self):
+        assert NonlinearPolicy(self._fitted(), name="P1").name == "P1"
+
+    def test_describe(self):
+        text = NonlinearPolicy(self._fitted()).describe()
+        assert "id(runtime)" in text and "fitness=" in text
+
+    def test_static(self):
+        assert NonlinearPolicy(self._fitted()).dynamic is False
+
+    def test_fitted_accessor(self):
+        f = self._fitted()
+        assert NonlinearPolicy(f).fitted is f

@@ -1,0 +1,67 @@
+"""Tests for repro.sim.events."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import CompletionQueue
+
+
+class TestCompletionQueue:
+    def test_empty(self):
+        q = CompletionQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.peek_time() == math.inf
+        assert q.pop_until(1e9) == []
+
+    def test_ordered_pops(self):
+        q = CompletionQueue()
+        q.push(5.0, 1)
+        q.push(3.0, 2)
+        q.push(4.0, 3)
+        assert q.peek_time() == 3.0
+        assert q.pop_until(4.5) == [2, 3]
+        assert q.pop_until(10.0) == [1]
+
+    def test_simultaneous_events_batched_deterministically(self):
+        q = CompletionQueue()
+        q.push(2.0, 9)
+        q.push(2.0, 3)
+        assert q.pop_until(2.0) == [3, 9]  # index order at equal times
+
+    def test_pop_until_exclusive_of_future(self):
+        q = CompletionQueue()
+        q.push(5.0, 1)
+        assert q.pop_until(4.999) == []
+        assert len(q) == 1
+
+    def test_push_into_past_rejected(self):
+        q = CompletionQueue()
+        q.push(5.0, 1)
+        q.pop_until(5.0)
+        with pytest.raises(ValueError, match="before current time"):
+            q.push(4.0, 2)
+
+    def test_push_at_current_time_ok(self):
+        q = CompletionQueue()
+        q.push(5.0, 1)
+        q.pop_until(5.0)
+        q.push(5.0, 2)  # same instant is legal
+        assert q.pop_until(5.0) == [2]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+    def test_pops_monotone(self, times):
+        q = CompletionQueue()
+        for i, t in enumerate(times):
+            q.push(t, i)
+        popped_times = []
+        horizon = 0.0
+        while q:
+            horizon += max(times) / 10 + 1
+            for idx in q.pop_until(horizon):
+                popped_times.append(times[idx])
+        assert popped_times == sorted(popped_times)
+        assert len(popped_times) == len(times)

@@ -1,0 +1,138 @@
+"""Tests for the fixed-priority trial simulator (repro.sim.listsched)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.listsched import simulate_fixed_priority
+
+
+def starts(submit, runtime, size, priority, nmax):
+    return simulate_fixed_priority(
+        np.asarray(submit, float),
+        np.asarray(runtime, float),
+        np.asarray(size, int),
+        np.asarray(priority, float),
+        nmax,
+    )
+
+
+class TestBasics:
+    def test_empty(self):
+        out = simulate_fixed_priority(
+            np.array([]), np.array([]), np.array([]), np.array([]), 4
+        )
+        assert len(out) == 0
+
+    def test_single_job_starts_at_submit(self):
+        out = starts([5.0], [10.0], [2], [0], 4)
+        assert out[0] == 5.0
+
+    def test_sequential_when_machine_full(self):
+        out = starts([0.0, 0.0], [10.0, 10.0], [4, 4], [0, 1], 4)
+        np.testing.assert_array_equal(out, [0.0, 10.0])
+
+    def test_parallel_when_fits(self):
+        out = starts([0.0, 0.0], [10.0, 10.0], [2, 2], [0, 1], 4)
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    def test_priority_reorders(self):
+        # Lower priority value runs first even if submitted later (after arrival).
+        out = starts([0.0, 0.0], [10.0, 10.0], [4, 4], [1, 0], 4)
+        np.testing.assert_array_equal(out, [10.0, 0.0])
+
+    def test_head_blocking_no_backfill(self):
+        """A small job never overtakes a blocked higher-priority job."""
+        # J0 occupies 3/4 cores until t=10; J1 (prio 1) needs 4 -> blocked;
+        # J2 (prio 2) needs 1 and would fit, but must wait for J1.
+        out = starts(
+            [0.0, 0.0, 0.0], [10.0, 5.0, 1.0], [3, 4, 1], [0, 1, 2], 4
+        )
+        np.testing.assert_array_equal(out, [0.0, 10.0, 15.0])
+
+    def test_not_yet_arrived_head_does_not_block(self):
+        """The top-priority job cannot reserve the machine before arriving."""
+        # J0 (prio 0) arrives at t=100; J1 (prio 1) arrives at 0 and runs now.
+        out = starts([100.0, 0.0], [10.0, 10.0], [4, 4], [0, 1], 4)
+        assert out[1] == 0.0
+        assert out[0] == 100.0
+
+    def test_arrived_head_preempts_queue_position(self):
+        """Once a late high-priority job arrives it jumps the waiting queue."""
+        # machine busy until t=20 (J0); J1 arrives t=1 (prio 2), J2 arrives
+        # t=5 (prio 1).  At t=20 J2 runs first despite arriving later.
+        out = starts(
+            [0.0, 1.0, 5.0], [20.0, 5.0, 5.0], [4, 4, 4], [0, 2, 1], 4
+        )
+        np.testing.assert_array_equal(out, [0.0, 25.0, 20.0])
+
+    def test_ties_broken_by_submit_then_index(self):
+        out = starts([0.0, 0.0], [5.0, 5.0], [4, 4], [0, 0], 4)
+        np.testing.assert_array_equal(out, [0.0, 5.0])
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError, match="larger than the machine"):
+            starts([0.0], [1.0], [8], [0], 4)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_fixed_priority(
+                np.array([0.0]), np.array([1.0]), np.array([1, 2]), np.array([0]), 4
+            )
+
+    def test_idle_gap_jumps_to_next_arrival(self):
+        out = starts([0.0, 1000.0], [5.0, 5.0], [1, 1], [0, 1], 4)
+        np.testing.assert_array_equal(out, [0.0, 1000.0])
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_schedule_validity(self, data):
+        n = data.draw(st.integers(2, 25))
+        nmax = data.draw(st.integers(1, 8))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        submit = np.sort(rng.uniform(0, 50, n))
+        runtime = rng.uniform(0.5, 20, n)
+        size = rng.integers(1, nmax + 1, n)
+        priority = rng.permutation(n).astype(float)
+        out = starts(submit, runtime, size, priority, nmax)
+        # every job starts after its arrival
+        assert np.all(out >= submit - 1e-9)
+        # no oversubscription at any event
+        events = sorted(
+            [(s, int(k)) for s, k in zip(out, size)]
+            + [(s + r, -int(k)) for s, r, k in zip(out, runtime, size)],
+            key=lambda e: (e[0], e[1]),
+        )
+        used = 0
+        for _, delta in events:
+            used += delta
+            assert used <= nmax
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**16))
+    def test_work_conserving_single_core_no_idle(self, seed):
+        """On 1 core with all jobs at t=0, the machine never idles."""
+        rng = np.random.default_rng(seed)
+        n = 8
+        runtime = rng.uniform(1, 10, n)
+        out = starts(np.zeros(n), runtime, np.ones(n, int), rng.permutation(n), 1)
+        order = np.argsort(out)
+        finish = out + runtime
+        assert out[order[0]] == 0.0
+        for a, b in zip(order[:-1], order[1:]):
+            assert out[b] == pytest.approx(finish[a])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**16))
+    def test_priority_zero_starts_first_among_simultaneous(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 10
+        runtime = rng.uniform(1, 10, n)
+        size = rng.integers(1, 5, n)
+        priority = rng.permutation(n).astype(float)
+        out = starts(np.zeros(n), runtime, size, priority, 4)
+        head = int(np.argmin(priority))
+        assert out[head] == pytest.approx(out.min())

@@ -1,0 +1,124 @@
+"""Tests for schedule timeline analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.classic import FCFS
+from repro.sim.engine import simulate
+from repro.sim.job import Workload
+from repro.sim.timeline import (
+    StepProfile,
+    busy_cores_profile,
+    profile_average,
+    queue_length_profile,
+    to_gantt_csv,
+)
+
+from conftest import random_workload
+
+
+@pytest.fixture
+def simple_result():
+    wl = Workload.from_arrays(
+        submit=[0.0, 0.0, 5.0],
+        runtime=[10.0, 4.0, 10.0],
+        size=[2, 2, 4],
+    )
+    return simulate(wl, FCFS(), 4)
+
+
+class TestStepProfile:
+    def test_at(self):
+        p = StepProfile(time=np.array([0.0, 10.0]), value=np.array([2.0, 0.0]))
+        assert p.at(-1.0) == 0.0
+        assert p.at(0.0) == 2.0
+        assert p.at(9.99) == 2.0
+        assert p.at(10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepProfile(time=np.array([0.0, 0.0]), value=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            StepProfile(time=np.array([0.0]), value=np.array([1.0, 2.0]))
+
+    def test_peak(self):
+        p = StepProfile(time=np.array([0.0, 1.0]), value=np.array([3.0, 7.0]))
+        assert p.peak == 7.0
+
+
+class TestBusyCores:
+    def test_simple_schedule(self, simple_result):
+        prof = busy_cores_profile(simple_result)
+        # J0 (2 cores) and J1 (2 cores) run [0,10] and [0,4]
+        assert prof.at(0.0) == 4
+        assert prof.at(4.5) == 2
+        # J2 (4 cores) waits for J0: runs [10, 20]
+        assert prof.at(12.0) == 4
+        assert prof.at(21.0) == 0
+
+    def test_peak_bounded_by_nmax(self, simple_result):
+        assert busy_cores_profile(simple_result).peak <= 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**16))
+    def test_peak_bounded_property(self, seed):
+        """Independent conservation check on random schedules."""
+        rng = np.random.default_rng(seed)
+        wl = random_workload(rng, n=30, nmax=8)
+        result = simulate(wl, FCFS(), 8, backfill=True)
+        prof = busy_cores_profile(result)
+        assert prof.peak <= 8
+        assert prof.value[-1] == pytest.approx(0.0)  # all work completes
+
+    def test_total_area_matches_workload(self, simple_result):
+        prof = busy_cores_profile(simple_result)
+        horizon = simple_result.makespan
+        avg = profile_average(prof, 0.0, horizon)
+        assert avg * horizon == pytest.approx(simple_result.workload.area)
+
+
+class TestQueueLength:
+    def test_counts_waiting_jobs(self, simple_result):
+        prof = queue_length_profile(simple_result)
+        # J2 arrives at 5, starts at 10 -> queue length 1 in between
+        assert prof.at(7.0) == 1
+        assert prof.at(11.0) == 0
+
+    def test_never_negative(self, simple_result):
+        prof = queue_length_profile(simple_result)
+        assert np.all(prof.value >= -1e-9)
+
+
+class TestProfileAverage:
+    def test_flat(self):
+        p = StepProfile(time=np.array([0.0]), value=np.array([5.0]))
+        assert profile_average(p, 0.0, 10.0) == 5.0
+
+    def test_step(self):
+        p = StepProfile(time=np.array([0.0, 5.0]), value=np.array([0.0, 10.0]))
+        assert profile_average(p, 0.0, 10.0) == 5.0
+
+    def test_empty(self):
+        p = StepProfile(time=np.empty(0), value=np.empty(0))
+        assert profile_average(p, 0.0, 1.0) == 0.0
+
+    def test_bad_interval(self):
+        p = StepProfile(time=np.array([0.0]), value=np.array([1.0]))
+        with pytest.raises(ValueError):
+            profile_average(p, 5.0, 5.0)
+
+
+class TestGanttCsv:
+    def test_header_and_rows(self, simple_result):
+        csv = to_gantt_csv(simple_result)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "job_id,submit,start,finish,size,backfilled"
+        assert len(lines) == 4
+
+    def test_roundtrippable_numbers(self, simple_result):
+        csv = to_gantt_csv(simple_result)
+        row = csv.strip().splitlines()[1].split(",")
+        assert float(row[2]) == simple_result.start[0]
+        assert int(row[4]) == int(simple_result.workload.size[0])

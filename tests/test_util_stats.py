@@ -1,0 +1,102 @@
+"""Tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import ascii_boxplot, boxplot_stats, summarize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.median == 2.5
+        assert s.mean == 2.5
+        assert s.min == 1.0 and s.max == 4.0
+
+    def test_single_value_std_zero(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_std_is_sample_std(self):
+        vals = [1.0, 3.0]
+        assert summarize(vals).std == pytest.approx(np.std(vals, ddof=1))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_bounds_property(self, vals):
+        s = summarize(vals)
+        assert s.min <= s.median <= s.max
+        assert s.min <= s.mean <= s.max
+
+
+class TestBoxplotStats:
+    def test_quartiles(self):
+        s = boxplot_stats(list(range(1, 101)))
+        assert s.q1 == pytest.approx(25.75)
+        assert s.median == pytest.approx(50.5)
+        assert s.q3 == pytest.approx(75.25)
+
+    def test_no_outliers_uniform(self):
+        s = boxplot_stats(list(range(10)))
+        assert s.outliers == ()
+        assert s.whisker_low == 0.0
+        assert s.whisker_high == 9.0
+
+    def test_outlier_detected(self):
+        vals = [1.0] * 10 + [2.0] * 10 + [100.0]
+        s = boxplot_stats(vals)
+        assert 100.0 in s.outliers
+        assert s.whisker_high <= 2.0 + 1.5 * s.iqr + 1e-9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+    def test_constant_sample(self):
+        s = boxplot_stats([3.0, 3.0, 3.0])
+        assert s.median == 3.0
+        assert s.iqr == 0.0
+        assert s.outliers == ()
+
+    @given(st.lists(finite_floats, min_size=2, max_size=60))
+    def test_whiskers_inside_fences(self, vals):
+        s = boxplot_stats(vals)
+        assert s.whisker_low >= s.q1 - 1.5 * s.iqr - 1e-6
+        assert s.whisker_high <= s.q3 + 1.5 * s.iqr + 1e-6
+        assert s.whisker_low <= s.median <= s.whisker_high
+
+    @given(st.lists(finite_floats, min_size=2, max_size=60))
+    def test_outliers_outside_fences(self, vals):
+        s = boxplot_stats(vals)
+        for o in s.outliers:
+            assert o < s.q1 - 1.5 * s.iqr or o > s.q3 + 1.5 * s.iqr
+
+
+class TestAsciiBoxplot:
+    def test_renders_all_labels(self):
+        out = ascii_boxplot({"A": [1, 2, 3], "LONGNAME": [2, 3, 4]})
+        assert "A " in out
+        assert "LONGNAME" in out
+        assert "#" in out  # median marker
+
+    def test_log_scale(self):
+        out = ascii_boxplot({"x": [1, 10, 100, 1000]}, log10=True)
+        assert "#" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_boxplot({})
+
+    def test_median_annotation(self):
+        out = ascii_boxplot({"p": [5.0, 5.0, 5.0]})
+        assert "median=5.00" in out

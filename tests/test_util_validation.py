@@ -1,0 +1,94 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_allow_zero(self):
+        assert check_positive("x", 0, allow_zero=True) == 0.0
+
+    def test_rejects_negative_even_with_zero_allowed(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("inf"))
+
+    def test_coerces_to_float(self):
+        assert isinstance(check_positive("x", 3), float)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("n", 4) == 4
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int("n", np.int64(4)) == 4
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 4.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_allow_zero(self):
+        assert check_positive_int("n", 0, allow_zero=True) == 0
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("p", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("p", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("p", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0.0, 1.0\]"):
+            check_in_range("p", 1.5, 0.0, 1.0)
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        arr = np.arange(5.0)
+        out = check_finite("a", arr)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_rejects_nan_with_index(self):
+        arr = np.array([0.0, np.nan, 1.0])
+        with pytest.raises(ValueError, match="flat index 1"):
+            check_finite("a", arr)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite("a", np.array([np.inf]))
+
+    def test_empty_ok(self):
+        check_finite("a", np.array([]))

@@ -1,0 +1,84 @@
+"""Tests for sequence extraction (the paper's 15-day windows)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.job import Workload
+from repro.workloads.lublin import lublin_workload
+from repro.workloads.sequences import extract_sequences, sequence_windows
+
+
+class TestSequenceWindows:
+    def test_exact_fit_abuts(self):
+        wins = sequence_windows(30.0, 3, 10.0)
+        assert wins == [(0.0, 10.0), (10.0, 20.0), (20.0, 30.0)]
+
+    def test_slack_spreads_windows(self):
+        wins = sequence_windows(40.0, 3, 10.0)
+        assert wins[0] == (0.0, 10.0)
+        assert wins[-1][1] == pytest.approx(40.0)
+        # gaps equal
+        gaps = [wins[i + 1][0] - wins[i][1] for i in range(2)]
+        assert gaps[0] == pytest.approx(gaps[1]) == pytest.approx(5.0)
+
+    def test_single_window(self):
+        assert sequence_windows(100.0, 1, 10.0) == [(0.0, 10.0)]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="cannot host"):
+            sequence_windows(25.0, 3, 10.0)
+
+    def test_no_overlap_property(self):
+        wins = sequence_windows(1000.0, 7, 100.0)
+        for (a0, a1), (b0, b1) in zip(wins[:-1], wins[1:]):
+            assert a1 <= b0
+
+
+class TestExtractSequences:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return lublin_workload(30000, nmax=256, seed=5)
+
+    def test_count_and_rebasing(self, stream):
+        days = stream.span / 86400.0
+        seqs = extract_sequences(stream, 4, days / 8)
+        assert len(seqs) == 4
+        for seq in seqs:
+            assert seq.submit[0] == 0.0
+            assert seq.span <= days / 8 * 86400.0 + 1e-6
+
+    def test_non_overlap_via_job_ids(self, stream):
+        seqs = extract_sequences(stream, 4, stream.span / 86400.0 / 8)
+        seen: set[int] = set()
+        for seq in seqs:
+            ids = set(seq.job_ids.tolist())
+            assert not (ids & seen)
+            seen |= ids
+
+    def test_names(self, stream):
+        seqs = extract_sequences(stream, 2, stream.span / 86400.0 / 4)
+        assert "[seq 0]" in seqs[0].name
+        assert "[seq 1]" in seqs[1].name
+
+    def test_attributes_preserved(self, stream):
+        seqs = extract_sequences(stream, 2, stream.span / 86400.0 / 4)
+        seq = seqs[0]
+        original = stream.select(np.isin(stream.job_ids, seq.job_ids))
+        np.testing.assert_array_equal(seq.runtime, original.runtime)
+        np.testing.assert_array_equal(seq.size, original.size)
+
+    def test_sparse_window_rejected(self):
+        # 3 jobs at the very start; windows later in the span are empty
+        wl = Workload.from_arrays(
+            [0.0, 1.0, 2e6], [10.0, 10.0, 10.0], [1, 1, 1]
+        )
+        with pytest.raises(ValueError, match="trace too sparse"):
+            extract_sequences(wl, 3, 1.0)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            extract_sequences(Workload.from_arrays([], [], []), 2, 1.0)
+
+    def test_too_many_sequences_rejected(self, stream):
+        with pytest.raises(ValueError, match="cannot host"):
+            extract_sequences(stream, 1000, 1.0)

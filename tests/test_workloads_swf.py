@@ -1,0 +1,96 @@
+"""Tests for SWF parsing and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.lublin import lublin_workload
+from repro.workloads.swf import parse_swf_text, read_swf, write_swf
+
+SAMPLE = """\
+; Computer: Test Machine
+; MaxProcs: 128
+; Note: synthetic sample
+1 0 5 100 4 -1 -1 8 3600 -1 1 1 1 -1 1 -1 -1 -1
+2 10 0 50 2 -1 -1 -1 -1 -1 1 1 1 -1 1 -1 -1 -1
+3 20 0 -1 4 -1 -1 4 600 -1 0 1 1 -1 1 -1 -1 -1
+4 30 0 25 0 -1 -1 0 -1 -1 5 1 1 -1 1 -1 -1 -1
+"""
+
+
+class TestParse:
+    def test_header_metadata(self):
+        wl = parse_swf_text(SAMPLE)
+        assert wl.name == "Test Machine"
+        assert wl.nmax == 128
+        assert wl.extra["header"]["Note"] == "synthetic sample"
+
+    def test_field_mapping(self):
+        wl = parse_swf_text(SAMPLE)
+        job1 = wl.select(wl.job_ids == 1)
+        assert job1.submit[0] == 0.0
+        assert job1.runtime[0] == 100.0
+        assert job1.size[0] == 8  # requested procs preferred
+        assert job1.estimate[0] == 3600.0
+
+    def test_fallbacks(self):
+        wl = parse_swf_text(SAMPLE)
+        job2 = wl.select(wl.job_ids == 2)
+        assert job2.size[0] == 2  # falls back to allocated procs
+        assert job2.estimate[0] == 50.0  # falls back to runtime
+
+    def test_invalid_jobs_dropped(self):
+        wl = parse_swf_text(SAMPLE)
+        # job 3: runtime -1; job 4: no procs at all -> both dropped
+        assert set(wl.job_ids.tolist()) == {1, 2}
+        assert wl.extra["dropped"] == 2
+
+    def test_keep_failed_filter(self):
+        text = SAMPLE.replace("2 10 0 50 2 -1 -1 -1 -1 -1 1", "2 10 0 50 2 -1 -1 -1 -1 -1 0")
+        wl = parse_swf_text(text, keep_failed=False)
+        assert set(wl.job_ids.tolist()) == {1}
+
+    def test_short_line_rejected(self):
+        with pytest.raises(ValueError, match="expected >= 11"):
+            parse_swf_text("1 2 3\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_swf_text("1 0 x 100 4 -1 -1 8 3600 -1 1\n")
+
+    def test_empty_text(self):
+        wl = parse_swf_text("; Computer: empty\n")
+        assert len(wl) == 0
+
+    def test_blank_lines_ignored(self):
+        wl = parse_swf_text("\n\n" + SAMPLE + "\n\n")
+        assert len(wl) == 2
+
+
+class TestWrite:
+    def test_roundtrip(self, tmp_path):
+        wl = lublin_workload(50, nmax=64, seed=9)
+        path = tmp_path / "out.swf"
+        write_swf(wl, path)
+        back = read_swf(path)
+        assert len(back) == len(wl)
+        assert back.nmax == 64
+        np.testing.assert_allclose(back.submit, wl.submit, atol=0.01)
+        np.testing.assert_allclose(back.runtime, wl.runtime, atol=0.01)
+        np.testing.assert_array_equal(back.size, wl.size)
+        np.testing.assert_allclose(back.estimate, wl.estimate, atol=0.01)
+
+    def test_custom_header(self):
+        wl = lublin_workload(3, seed=0)
+        text = write_swf(wl, header={"Acknowledge": "nobody"})
+        assert "; Acknowledge: nobody" in text
+
+    def test_returns_text_without_path(self):
+        wl = lublin_workload(3, seed=0)
+        text = write_swf(wl)
+        assert text.count("\n") >= 4
+
+    def test_read_from_disk(self, tmp_path):
+        p = tmp_path / "sample.swf"
+        p.write_text(SAMPLE)
+        wl = read_swf(p)
+        assert len(wl) == 2

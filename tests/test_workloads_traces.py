@@ -1,0 +1,109 @@
+"""Tests for the synthetic trace stand-ins (Table 5)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import TRACES, synthetic_trace, trace_names
+
+
+class TestSpecs:
+    def test_table5_vitals_verbatim(self):
+        """The published vitals must be transcribed exactly."""
+        assert TRACES["curie"].cores == 93312
+        assert TRACES["curie"].n_jobs == 312826
+        assert TRACES["curie"].utilization == pytest.approx(0.620)
+        assert TRACES["anl_intrepid"].cores == 163840
+        assert TRACES["anl_intrepid"].n_jobs == 68936
+        assert TRACES["anl_intrepid"].utilization == pytest.approx(0.596)
+        assert TRACES["sdsc_blue"].cores == 1152
+        assert TRACES["sdsc_blue"].n_jobs == 243306
+        assert TRACES["sdsc_blue"].utilization == pytest.approx(0.767)
+        assert TRACES["ctc_sp2"].cores == 338
+        assert TRACES["ctc_sp2"].n_jobs == 77222
+        assert TRACES["ctc_sp2"].utilization == pytest.approx(0.852)
+
+    def test_years(self):
+        years = {k: TRACES[k].year for k in TRACES}
+        assert years == {
+            "curie": 2011,
+            "anl_intrepid": 2009,
+            "sdsc_blue": 2003,
+            "ctc_sp2": 1997,
+        }
+
+    def test_order(self):
+        assert trace_names() == ["curie", "anl_intrepid", "sdsc_blue", "ctc_sp2"]
+
+
+@pytest.fixture(scope="module", params=trace_names())
+def trace(request):
+    return request.param, synthetic_trace(request.param, seed=1, n_jobs=4000)
+
+
+class TestGeneratedTraces:
+    def test_utilization_calibrated(self, trace):
+        key, wl = trace
+        assert wl.utilization(TRACES[key].cores) == pytest.approx(
+            TRACES[key].utilization, rel=1e-6
+        )
+
+    def test_sizes_fit_machine(self, trace):
+        key, wl = trace
+        assert int(wl.size.max()) <= TRACES[key].cores
+        assert int(wl.size.min()) >= 1
+
+    def test_estimates_attached(self, trace):
+        _, wl = trace
+        assert np.all(wl.estimate >= wl.runtime)
+        assert not np.array_equal(wl.estimate, wl.runtime)
+
+    def test_reproducible(self, trace):
+        key, wl = trace
+        again = synthetic_trace(key, seed=1, n_jobs=4000)
+        np.testing.assert_array_equal(wl.submit, again.submit)
+        np.testing.assert_array_equal(wl.estimate, again.estimate)
+
+    def test_nmax_carried(self, trace):
+        key, wl = trace
+        assert wl.nmax == TRACES[key].cores
+
+
+class TestTraceCharacter:
+    def test_intrepid_block_allocation(self):
+        wl = synthetic_trace("anl_intrepid", seed=0, n_jobs=3000)
+        assert np.all(wl.size % 512 == 0)
+        assert int(wl.size.min()) >= 512
+
+    def test_sdsc_node_quantum(self):
+        wl = synthetic_trace("sdsc_blue", seed=0, n_jobs=3000)
+        parallel = wl.size[wl.size > 1]
+        assert np.all(parallel % 8 == 0)
+
+    def test_curie_many_small_jobs(self):
+        wl = synthetic_trace("curie", seed=0, n_jobs=5000)
+        assert np.mean(wl.size == 1) > 0.2
+        assert np.median(wl.size) <= 16
+
+    def test_ctc_small_machine_profile(self):
+        wl = synthetic_trace("ctc_sp2", seed=0, n_jobs=5000)
+        assert wl.size.max() <= 338
+        assert np.mean(wl.size == 1) > 0.25
+
+    def test_machines_differ(self):
+        """The four stand-ins are genuinely different workload types."""
+        med_sizes = {
+            k: float(np.median(synthetic_trace(k, seed=0, n_jobs=2000).size))
+            for k in trace_names()
+        }
+        assert med_sizes["anl_intrepid"] >= 512
+        assert med_sizes["ctc_sp2"] < med_sizes["anl_intrepid"]
+
+
+class TestErrors:
+    def test_unknown_trace(self):
+        with pytest.raises(KeyError, match="available"):
+            synthetic_trace("bluegene_q")
+
+    def test_bad_job_count(self):
+        with pytest.raises(ValueError):
+            synthetic_trace("curie", n_jobs=0)

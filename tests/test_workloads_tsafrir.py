@@ -1,0 +1,113 @@
+"""Tests for the Tsafrir user runtime-estimate model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.lublin import lublin_workload
+from repro.workloads.tsafrir import (
+    POPULAR_ESTIMATES,
+    TsafrirParams,
+    apply_tsafrir,
+    tsafrir_estimates,
+)
+
+
+@pytest.fixture(scope="module")
+def runtimes():
+    return lublin_workload(20000, nmax=256, seed=3).runtime
+
+
+class TestParams:
+    def test_pool_sorted(self):
+        p = TsafrirParams()
+        assert list(p.pool) == sorted(p.pool)
+
+    def test_default_emax_is_pool_max(self):
+        assert TsafrirParams().e_max == max(POPULAR_ESTIMATES)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            TsafrirParams(pool=())
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            TsafrirParams(max_request_fraction=1.5)
+
+
+class TestInvariants:
+    def test_overestimation(self, runtimes):
+        """e >= r element-wise — the model's hard invariant."""
+        est = tsafrir_estimates(runtimes, seed=0)
+        assert np.all(est >= runtimes)
+
+    def test_bounded_by_emax_or_runtime(self, runtimes):
+        p = TsafrirParams(e_max=18 * 3600.0)
+        est = tsafrir_estimates(runtimes, seed=0, params=p)
+        assert np.all(est <= np.maximum(p.e_max, runtimes))
+
+    def test_modality(self, runtimes):
+        """Estimates cluster on few popular values (Tsafrir observation 1)."""
+        est = tsafrir_estimates(runtimes, seed=0)
+        values, counts = np.unique(est, return_counts=True)
+        top20 = np.sort(counts)[-20:].sum() / counts.sum()
+        assert top20 > 0.9
+
+    def test_head_spike_at_emax(self, runtimes):
+        p = TsafrirParams(max_request_fraction=0.10)
+        est = tsafrir_estimates(runtimes, seed=0, params=p)
+        at_max = np.mean(est == p.e_max)
+        assert at_max >= 0.08
+
+    def test_accuracy_spread(self, runtimes):
+        """r/e spreads widely below 1 (observation 3: poor accuracy)."""
+        est = tsafrir_estimates(runtimes, seed=0)
+        acc = runtimes / est
+        assert np.all(acc <= 1.0 + 1e-12)
+        assert np.percentile(acc, 75) < 0.9  # most jobs overestimate a lot
+        assert acc.std() > 0.1
+
+    def test_reproducible(self, runtimes):
+        a = tsafrir_estimates(runtimes, seed=5)
+        b = tsafrir_estimates(runtimes, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_matters(self, runtimes):
+        a = tsafrir_estimates(runtimes, seed=5)
+        b = tsafrir_estimates(runtimes, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_runtime_above_emax_kept(self):
+        """A job longer than the site limit keeps e = r (never killed)."""
+        est = tsafrir_estimates(np.array([1e6]), seed=0)
+        assert est[0] == 1e6
+
+    def test_nonpositive_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            tsafrir_estimates(np.array([0.0]), seed=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e5), min_size=1, max_size=50))
+    def test_invariants_property(self, rts):
+        r = np.asarray(rts)
+        est = tsafrir_estimates(r, seed=1)
+        assert np.all(est >= r)
+        assert np.all(np.isfinite(est))
+
+
+class TestApplyTsafrir:
+    def test_attaches_estimates(self):
+        wl = lublin_workload(100, seed=0)
+        wl2 = apply_tsafrir(wl, seed=1)
+        assert np.all(wl2.estimate >= wl2.runtime)
+        assert not np.array_equal(wl2.estimate, wl.estimate)
+        # original untouched
+        np.testing.assert_array_equal(wl.estimate, wl.runtime)
+
+    def test_only_estimates_change(self):
+        wl = lublin_workload(100, seed=0)
+        wl2 = apply_tsafrir(wl, seed=1)
+        np.testing.assert_array_equal(wl.submit, wl2.submit)
+        np.testing.assert_array_equal(wl.runtime, wl2.runtime)
+        np.testing.assert_array_equal(wl.size, wl2.size)
