@@ -1,0 +1,59 @@
+"""Runtime scaling: trial-simulation wall clock vs worker count.
+
+The training pipeline's simulation phase is embarrassingly parallel;
+:class:`repro.runtime.TrialRunner` fans it over a process pool with a
+guarantee of bit-identical results.  This bench measures the speedup at
+1/2/4/8 workers on the active scale's training config and records the
+curve.  Expect >1.5x at 4 workers on a >=4-core machine; on fewer cores
+the curve flattens at the core count (the determinism assertion still
+exercises the full fan-out path).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.pipeline import PipelineConfig, build_distribution
+
+from conftest import BENCH_SEED, run_once
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _sweep(config):
+    timings = {}
+    baseline = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        _, results, dist = build_distribution(config, workers=workers)
+        timings[workers] = time.perf_counter() - start
+        if baseline is None:
+            baseline = dist
+        else:
+            # the runtime's core guarantee: fan-out never changes results
+            np.testing.assert_array_equal(dist.score, baseline.score)
+    return timings
+
+
+def bench_runtime_scaling(benchmark, record, scale):
+    """Simulation-phase speedup of the worker-pool runtime."""
+    config = PipelineConfig(
+        n_tuples=max(scale.n_tuples, 8),
+        trials_per_tuple=scale.trials_per_tuple,
+        seed=BENCH_SEED,
+    )
+    timings = run_once(benchmark, _sweep, config)
+    serial = timings[1]
+    lines = [
+        f"cores available: {os.cpu_count()}",
+        f"config: n_tuples={config.n_tuples} "
+        f"trials_per_tuple={config.trials_per_tuple}",
+        "workers  seconds  speedup",
+    ]
+    extra = {}
+    for workers, seconds in timings.items():
+        speedup = serial / seconds if seconds > 0 else float("inf")
+        lines.append(f"{workers:>7d}  {seconds:>7.2f}  {speedup:>6.2f}x")
+        extra[f"speedup_{workers}"] = round(speedup, 3)
+    record("\n".join(lines), extra=extra)

@@ -14,6 +14,9 @@ The library has four layers (see DESIGN.md for the full inventory):
   (Eq. 3), the pooled score distribution, and weighted nonlinear
   regression over the 576-candidate function space (Eqs. 4–5),
   culminating in :func:`repro.core.obtain_policies`.
+* :mod:`repro.runtime` — the parallel execution substrate: worker-pool
+  trial simulation with deterministic sharding (bit-identical to serial
+  runs) and a content-addressed artifact cache.
 
 Quickstart::
 
@@ -30,7 +33,7 @@ from repro.core import (
     ScoreDistribution,
     obtain_policies,
 )
-from repro.experiments import run_dynamic_experiment, run_row
+from repro.experiments import run_dynamic_experiment, run_row, run_rows
 from repro.policies import (
     NonlinearPolicy,
     Policy,
@@ -38,6 +41,7 @@ from repro.policies import (
     get_policy,
     paper_policies,
 )
+from repro.runtime import ArtifactCache, ExecutorConfig, TrialRunner
 from repro.sim import (
     Job,
     ScheduleResult,
@@ -58,6 +62,8 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
+    "ExecutorConfig",
     "Job",
     "NonlinearPolicy",
     "PipelineConfig",
@@ -65,6 +71,7 @@ __all__ = [
     "Policy",
     "ScheduleResult",
     "ScoreDistribution",
+    "TrialRunner",
     "Workload",
     "__version__",
     "apply_tsafrir",
@@ -79,6 +86,7 @@ __all__ = [
     "read_swf",
     "run_dynamic_experiment",
     "run_row",
+    "run_rows",
     "simulate",
     "synthetic_trace",
     "write_swf",

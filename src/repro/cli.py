@@ -28,8 +28,9 @@ from repro.experiments.figures import (
 )
 from repro.experiments.paper_data import paper_row
 from repro.experiments.report import render_comparison, render_statistics
-from repro.experiments.scale import SCALES, current_scale, get_scale
-from repro.experiments.table4 import row_ids, run_row
+from repro.experiments.scale import SCALES, current_scale, current_workers, get_scale
+from repro.experiments.table4 import row_ids, run_row, run_rows
+from repro.runtime import resolve_workers
 from repro.policies.registry import available_policies, get_policy
 from repro.workloads.swf import read_swf, write_swf
 from repro.workloads.traces import synthetic_trace, trace_names
@@ -48,6 +49,41 @@ def _scale_from(args: argparse.Namespace):
     return get_scale(args.scale) if args.scale else current_scale()
 
 
+def _workers_type(value: str) -> int:
+    try:
+        return resolve_workers(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _cache_dir_type(value: str) -> str:
+    import os
+
+    if os.path.exists(value) and not os.path.isdir(value):
+        raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
+    return value
+
+
+def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=_workers_type,
+        default=None,
+        metavar="N",
+        help="worker processes: an integer or 'auto' "
+        "(default: $REPRO_WORKERS or 1; results are identical either way)",
+    )
+
+
+def _workers_from(args: argparse.Namespace) -> int:
+    if args.workers is not None:
+        return args.workers
+    try:
+        return current_workers()
+    except ValueError as exc:
+        raise SystemExit(f"repro-sched: bad $REPRO_WORKERS: {exc}") from None
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     config = PipelineConfig(
@@ -63,7 +99,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         if done == total or done % max(total // 10, 1) == 0:
             print(f"  [{stage}] {done}/{total}", file=sys.stderr)
 
-    result = obtain_policies(config, progress)
+    result = obtain_policies(
+        config, progress, workers=_workers_from(args), cache=args.cache
+    )
     print(result.report(args.top))
     if args.output:
         result.distribution.to_csv(args.output)
@@ -97,13 +135,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_table4(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     targets = args.rows or row_ids()
-    for rid in targets:
-        result = run_row(rid, scale, seed=args.seed)
+    workers = _workers_from(args)
+
+    def emit(rid: str, result) -> None:
         print(render_statistics(result))
         print(render_comparison(result, paper_row(rid), title=f"[{rid}]"))
         if args.plot:
             print(result.ascii_plot())
         print()
+
+    if workers == 1:
+        # Serial: stream each row's output as soon as it finishes, so a
+        # long regeneration shows results (and survives interruption)
+        # row by row.
+        for rid in targets:
+            emit(rid, run_row(rid, scale, seed=args.seed))
+        return 0
+
+    def progress(stage: str, done: int, total: int) -> None:
+        print(f"  [{stage}] {done}/{total}", file=sys.stderr)
+
+    results = run_rows(
+        targets, scale, seed=args.seed, workers=workers, progress=progress
+    )
+    for rid, result in zip(targets, results):
+        emit(rid, result)
     return 0
 
 
@@ -207,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--top", type=int, default=4)
     p.add_argument("--output", help="write the score distribution CSV here")
+    p.add_argument(
+        "--cache",
+        type=_cache_dir_type,
+        metavar="DIR",
+        help="artifact-cache directory; repeated runs of the same config "
+        "load the simulated distribution instead of re-simulating",
+    )
+    _add_workers_arg(p)
     _add_scale_arg(p)
     p.set_defaults(func=_cmd_train)
 
@@ -225,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", nargs="*", choices=row_ids(), default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--plot", action="store_true", help="ASCII boxplots")
+    _add_workers_arg(p)
     _add_scale_arg(p)
     p.set_defaults(func=_cmd_table4)
 

@@ -19,6 +19,7 @@ every trial file into one :class:`~repro.core.distribution.ScoreDistribution`
 
 from __future__ import annotations
 
+import os
 import re
 from pathlib import Path
 
@@ -30,7 +31,69 @@ from repro.core.trials import TrialScoreResult, run_trials
 from repro.sim.job import Workload
 from repro.util.rng import spawn_generators
 
-__all__ = ["TrainingDataStore"]
+__all__ = ["TrainingDataStore", "save_trial_artifact", "load_trial_artifact"]
+
+#: Bump when the npz artifact layout changes; loaders reject other versions.
+ARTIFACT_FORMAT_VERSION = 1
+
+_RESULT_FIELDS = ("runtime", "size", "submit", "scores", "first_task", "trial_avebsld")
+_DIST_FIELDS = ("runtime", "size", "submit", "score")
+
+
+def save_trial_artifact(
+    path: str | Path,
+    results: list[TrialScoreResult],
+    distribution: ScoreDistribution,
+) -> Path:
+    """Write trial results + pooled distribution as one lossless ``.npz``.
+
+    Unlike the artifact CSVs above (which truncate floats to match the
+    paper's files), the npz round-trips every array bit for bit — the
+    format behind :class:`repro.runtime.ArtifactCache`.  The write is
+    atomic (tmp file + rename) so a crashed run never leaves a torn
+    artifact behind for the next run to load.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.array([ARTIFACT_FORMAT_VERSION], dtype=np.int64),
+        "n_results": np.array([len(results)], dtype=np.int64),
+    }
+    for field in _DIST_FIELDS:
+        arrays[f"dist_{field}"] = getattr(distribution, field)
+    for i, result in enumerate(results):
+        for field in _RESULT_FIELDS:
+            arrays[f"trial{i}_{field}"] = getattr(result, field)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}.npz")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def load_trial_artifact(
+    path: str | Path,
+) -> tuple[list[TrialScoreResult], ScoreDistribution]:
+    """Read back a :func:`save_trial_artifact` file."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"][0])
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: artifact format v{version}, "
+                f"expected v{ARTIFACT_FORMAT_VERSION}"
+            )
+        results = [
+            TrialScoreResult(
+                **{field: data[f"trial{i}_{field}"] for field in _RESULT_FIELDS}
+            )
+            for i in range(int(data["n_results"][0]))
+        ]
+        distribution = ScoreDistribution(
+            **{field: data[f"dist_{field}"] for field in _DIST_FIELDS}
+        )
+    return results, distribution
 
 _TUPLE_RE = re.compile(r"tuple-(\d+)\.csv$")
 

@@ -12,25 +12,40 @@
 
 This is the library's "train your own policies for your own platform"
 entry point, the customisation the paper's conclusion proposes.
+
+The simulation phase dispatches through :mod:`repro.runtime`: pass
+``workers`` to fan the per-tuple trials over a process pool (results are
+bit-identical to the serial run for any worker count), and ``cache`` to
+memoise the pooled distribution on disk keyed by a fingerprint of the
+result-relevant config fields.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.distribution import ScoreDistribution
 from repro.core.functions import FittedFunction
 from repro.core.regression import RegressionConfig, fit_all
 from repro.core.taskgen import TaskSetTuple, generate_tuples
-from repro.core.trials import TrialScoreResult, run_trials
+from repro.core.trials import TrialScoreResult
 from repro.policies.learned import NonlinearPolicy
+from repro.runtime.cache import ArtifactCache, config_fingerprint
+from repro.runtime.config import ExecutorConfig
+from repro.runtime.executor import TrialRunner
 from repro.sim.metrics import DEFAULT_TAU
-from repro.util.rng import spawn_generators
 from repro.util.validation import check_positive_int
 from repro.workloads.lublin import LublinParams
 
-__all__ = ["PipelineConfig", "PipelineResult", "obtain_policies", "build_distribution"]
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "obtain_policies",
+    "build_distribution",
+    "distribution_cache_key",
+]
 
 
 @dataclass(frozen=True)
@@ -80,11 +95,63 @@ class PipelineResult:
         return "\n".join(lines)
 
 
+#: Bump whenever the simulation semantics behind build_distribution change
+#: (taskgen, trials, scoring): it invalidates every artifact-cache entry,
+#: so long-lived shared caches never serve results from older semantics.
+SIMULATION_SEMANTICS_VERSION = 1
+
+
+def distribution_cache_key(config: PipelineConfig) -> str:
+    """Fingerprint of every config field that influences the distribution.
+
+    Execution knobs (worker count, chunk size, cache location) are *not*
+    part of the key: serial and parallel runs of the same config produce
+    bit-identical results and therefore share one cache entry.
+    """
+    return config_fingerprint(
+        {
+            "semantics": SIMULATION_SEMANTICS_VERSION,
+            "n_tuples": config.n_tuples,
+            "trials_per_tuple": config.trials_per_tuple,
+            "nmax": config.nmax,
+            "s_size": config.s_size,
+            "q_size": config.q_size,
+            "seed": config.seed,
+            "tau": config.tau,
+            "balanced_trials": config.balanced_trials,
+            "lublin_params": config.lublin_params,
+        }
+    )
+
+
+def _as_cache(cache: str | Path | ArtifactCache | None) -> ArtifactCache | None:
+    if cache is None or isinstance(cache, ArtifactCache):
+        return cache
+    return ArtifactCache(cache)
+
+
 def build_distribution(
     config: PipelineConfig,
     progress: Callable[[str, int, int], None] | None = None,
+    *,
+    workers: int | str = 1,
+    chunk_size: int | None = None,
+    cache: str | Path | ArtifactCache | None = None,
 ) -> tuple[list[TaskSetTuple], list[TrialScoreResult], ScoreDistribution]:
-    """Phases 1–2: tuples, trials, pooled score distribution."""
+    """Phases 1–2: tuples, trials, pooled score distribution.
+
+    Parameters
+    ----------
+    workers, chunk_size:
+        Dispatch policy for the trial simulations (see
+        :class:`repro.runtime.ExecutorConfig`).  Results are identical
+        for every setting; ``workers=1`` runs in-process.
+    cache:
+        An :class:`repro.runtime.ArtifactCache` (or a directory path for
+        one).  On a hit the trials are loaded instead of simulated — the
+        tuples are still regenerated (they are cheap and deterministic)
+        so the return shape is unchanged.
+    """
     tuples = generate_tuples(
         config.n_tuples,
         nmax=config.nmax,
@@ -93,36 +160,52 @@ def build_distribution(
         seed=config.seed,
         params=config.lublin_params,
     )
-    trial_seeds = spawn_generators(config.seed + 1, config.n_tuples)
-    results: list[TrialScoreResult] = []
-    for i, (tup, rng) in enumerate(zip(tuples, trial_seeds)):
-        results.append(
-            run_trials(
-                tup,
-                config.nmax,
-                config.trials_per_tuple,
-                seed=rng,
-                balanced=config.balanced_trials,
-                tau=config.tau,
-            )
-        )
-        if progress is not None:
-            progress("trials", i + 1, config.n_tuples)
-    return tuples, results, ScoreDistribution.from_trial_results(results)
+    cache_store = _as_cache(cache)
+    key = distribution_cache_key(config) if cache_store is not None else None
+    if cache_store is not None:
+        entry = cache_store.load(key)
+        if entry is not None:
+            results, dist = entry
+            if progress is not None:
+                progress("trials", config.n_tuples, config.n_tuples)
+            return tuples, results, dist
+
+    runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
+    results = runner.run_tuple_trials(
+        tuples,
+        nmax=config.nmax,
+        trials_per_tuple=config.trials_per_tuple,
+        root_seed=config.seed + 1,
+        balanced=config.balanced_trials,
+        tau=config.tau,
+        progress=progress,
+    )
+    dist = ScoreDistribution.from_trial_results(results)
+    if cache_store is not None:
+        cache_store.store(key, results, dist)
+    return tuples, results, dist
 
 
 def obtain_policies(
     config: PipelineConfig | None = None,
     progress: Callable[[str, int, int], None] | None = None,
+    *,
+    workers: int | str = 1,
+    chunk_size: int | None = None,
+    cache: str | Path | ArtifactCache | None = None,
 ) -> PipelineResult:
     """Run the full §3 procedure and return ranked policies.
 
     The returned policies are named ``P1``–``Pk`` (rank order) to avoid
     confusion with the paper's published ``F1``–``F4``, which remain
-    available as :func:`repro.policies.paper_policies`.
+    available as :func:`repro.policies.paper_policies`.  ``workers``,
+    ``chunk_size`` and ``cache`` configure the simulation phase exactly
+    as in :func:`build_distribution`.
     """
     config = config or PipelineConfig()
-    tuples, trial_results, dist = build_distribution(config, progress)
+    tuples, trial_results, dist = build_distribution(
+        config, progress, workers=workers, chunk_size=chunk_size, cache=cache
+    )
 
     def regression_progress(done: int, total: int) -> None:
         if progress is not None:

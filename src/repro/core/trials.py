@@ -22,6 +22,7 @@ convergence study is reproduced on this estimator.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,7 +33,7 @@ from repro.sim.metrics import DEFAULT_TAU, average_bounded_slowdown
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive_int
 
-__all__ = ["TrialScoreResult", "run_trials"]
+__all__ = ["TrialScoreResult", "balanced_trial_count", "run_trials"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,30 @@ def _balanced_heads(n_trials: int, q_size: int) -> int:
     return blocks
 
 
+def balanced_trial_count(n_trials: int, q_size: int) -> int:
+    """The trial count actually run after balanced-block rounding.
+
+    Callers (e.g. the parallel runtime) use this to detect — and warn
+    about — the rounding before dispatching work.
+    """
+    return _balanced_heads(n_trials, q_size) * q_size
+
+
+#: Prefix of the rounding warning (kept stable so dispatchers that warn
+#: up front can suppress the per-tuple duplicates by message match).
+ROUNDING_WARNING_PREFIX = "balanced trials run in whole blocks"
+
+
+def format_rounding_warning(n_trials: int, q_size: int) -> str:
+    """The rounding warning text, shared by run_trials and dispatchers."""
+    n_blocks = _balanced_heads(n_trials, q_size)
+    return (
+        f"{ROUNDING_WARNING_PREFIX} of |Q|={q_size}: "
+        f"n_trials={n_trials} adjusted to {n_blocks * q_size} "
+        f"({n_blocks} block(s))"
+    )
+
+
 def run_trials(
     tup: TaskSetTuple,
     nmax: int,
@@ -96,7 +121,11 @@ def run_trials(
     n_trials:
         Trial budget.  With *balanced* (default) the budget is rounded
         down to a multiple of |Q| (at least one block) so every task
-        heads the same number of permutations.
+        heads the same number of permutations: the actual trial count is
+        ``max(n_trials // len(Q), 1) * len(Q)``.  In particular,
+        ``n_trials < len(Q)`` collapses to a single block of ``len(Q)``
+        trials.  A :class:`UserWarning` is emitted whenever the rounded
+        count differs from the requested budget.
     seed, tau:
         Reproducibility / Eq. 1 constant.
 
@@ -127,10 +156,17 @@ def run_trials(
 
     if balanced:
         n_blocks = _balanced_heads(n_trials, m_q)
+        if n_blocks * m_q != n_trials:
+            warnings.warn(format_rounding_warning(n_trials, m_q), stacklevel=2)
+        # One tail template per head, hoisted out of the block loop; the
+        # shuffle consumes identical values in the same RNG order as the
+        # per-trial np.delete it replaces, so results are unchanged.
+        all_tasks = np.arange(m_q)
+        tails = [np.delete(all_tasks, head) for head in range(m_q)]
         heads_per_trial: list[np.ndarray] = []
         for _ in range(n_blocks):
             for head in range(m_q):
-                rest = np.delete(np.arange(m_q), head)
+                rest = tails[head].copy()
                 rng.shuffle(rest)
                 heads_per_trial.append(np.concatenate([[head], rest]))
         perms = heads_per_trial

@@ -40,6 +40,7 @@ from repro.experiments.table4 import (
     build_row_workload,
     row_ids,
     run_row,
+    run_rows,
 )
 
 __all__ = [
@@ -74,6 +75,7 @@ __all__ = [
     "seed_sweep",
     "row_ids",
     "run_row",
+    "run_rows",
     "tau_sweep",
     "write_all",
 ]

@@ -7,6 +7,12 @@ the same *shapes* at reduced scale; every harness therefore takes a
 :class:`Scale`, and the ``REPRO_SCALE`` environment variable picks the
 preset (``smoke`` < ``small`` < ``medium`` < ``paper``).
 
+Execution width is orthogonal to scale: ``REPRO_WORKERS`` (an integer
+or ``auto``) sets the default worker-pool size used by the CLI and
+harnesses that dispatch through :mod:`repro.runtime`.  Results never
+depend on it — the runtime guarantees bit-identical output for any
+worker count — so it is an environment knob, not a :class:`Scale` field.
+
 EXPERIMENTS.md records which preset produced the checked-in numbers.
 """
 
@@ -15,7 +21,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-__all__ = ["Scale", "SCALES", "current_scale", "get_scale"]
+from repro.runtime.config import resolve_workers
+
+__all__ = ["Scale", "SCALES", "current_scale", "current_workers", "get_scale"]
 
 
 @dataclass(frozen=True)
@@ -116,3 +124,12 @@ def get_scale(name: str) -> Scale:
 def current_scale(default: str = "small") -> Scale:
     """The preset selected by ``REPRO_SCALE`` (default ``small``)."""
     return get_scale(os.environ.get("REPRO_SCALE", default))
+
+
+def current_workers(default: int | str = 1) -> int:
+    """The worker count selected by ``REPRO_WORKERS`` (default serial).
+
+    Accepts an integer or ``auto`` (one worker per CPU); this is the
+    default behind the CLI's ``--workers`` flags.
+    """
+    return resolve_workers(os.environ.get("REPRO_WORKERS", default))

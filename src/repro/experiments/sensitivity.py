@@ -17,6 +17,7 @@ import numpy as np
 from repro.experiments.dynamic import run_dynamic_experiment
 from repro.experiments.scale import Scale
 from repro.experiments.table4 import Table4Row, build_row_workload
+from repro.runtime import ExecutorConfig, TrialRunner
 
 __all__ = ["SeedSweepResult", "seed_sweep", "tau_sweep", "ranking_stability"]
 
@@ -51,30 +52,44 @@ class SeedSweepResult:
         }
 
 
+def _seed_point(
+    spec: tuple[Table4Row, Scale, int, tuple[str, ...]],
+) -> tuple[int, dict[str, float]]:
+    """Picklable one-seed task dispatched by :func:`seed_sweep`."""
+    row, scale, seed, policies = spec
+    workload, nmax = build_row_workload(row, scale, seed=seed)
+    result = run_dynamic_experiment(
+        workload,
+        policies,
+        nmax,
+        name=f"{row.row_id}@seed{seed}",
+        use_estimates=row.use_estimates,
+        backfill=row.backfill,
+        n_sequences=scale.n_sequences,
+        days=scale.days,
+    )
+    return seed, result.medians()
+
+
 def seed_sweep(
     row: Table4Row,
     scale: Scale,
     seeds: Sequence[int],
     *,
     policies: tuple[str, ...] = ("FCFS", "SPT", "F1"),
+    workers: int | str = 1,
 ) -> SeedSweepResult:
-    """Re-run one Table 4 row under several workload seeds."""
+    """Re-run one Table 4 row under several workload seeds.
+
+    Sweep points are independent, so *workers* fans them over the
+    :mod:`repro.runtime` pool; each point computes exactly what the
+    serial loop would.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    medians: dict[int, dict[str, float]] = {}
-    for seed in seeds:
-        workload, nmax = build_row_workload(row, scale, seed=int(seed))
-        result = run_dynamic_experiment(
-            workload,
-            policies,
-            nmax,
-            name=f"{row.row_id}@seed{seed}",
-            use_estimates=row.use_estimates,
-            backfill=row.backfill,
-            n_sequences=scale.n_sequences,
-            days=scale.days,
-        )
-        medians[int(seed)] = result.medians()
+    specs = [(row, scale, int(seed), tuple(policies)) for seed in seeds]
+    runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=1))
+    medians = dict(runner.map(_seed_point, specs, phase="seeds"))
     return SeedSweepResult(
         row_id=row.row_id, seeds=tuple(int(s) for s in seeds), medians=medians
     )

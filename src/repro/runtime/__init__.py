@@ -1,0 +1,43 @@
+"""repro.runtime — parallel execution substrate for the whole library.
+
+The paper's policy-obtaining procedure simulates ``n_tuples x
+trials_per_tuple`` independent list-scheduling runs; Table 4 regenerates
+18 independent experiments; sensitivity sweeps re-run rows per seed.
+All of it is embarrassingly parallel, and all of it funnels through this
+package:
+
+* :class:`ExecutorConfig` — declarative dispatch policy: ``workers``
+  (int or ``"auto"``), ``chunk_size``, multiprocessing start method.
+* :class:`TrialRunner` — shards a work-list deterministically
+  (:mod:`repro.runtime.sharding`), fans chunks over a
+  ``ProcessPoolExecutor`` via picklable pure workers
+  (:mod:`repro.runtime.worker`), and reassembles results by item index.
+  ``workers=1`` is a plain in-process loop.  Serial and parallel runs
+  are **bit-identical** for any worker count and chunk size, because
+  per-item seed streams depend only on ``(root_seed, item_index)``.
+* :class:`ArtifactCache` — content-addressed, config-hash-keyed store of
+  simulation outputs (lossless npz via :mod:`repro.core.datastore`), so
+  repeated runs of an unchanged config skip simulation entirely.
+* :class:`ProgressAggregator` — folds out-of-order chunk completions
+  back into the library's monotone ``progress(phase, done, total)``
+  callback contract.
+
+Every future scaling direction (async engines, multi-backend dispatch,
+distributed sweeps) plugs in behind :class:`TrialRunner`'s interface.
+"""
+
+from repro.runtime.cache import ArtifactCache, config_fingerprint
+from repro.runtime.config import ExecutorConfig, resolve_workers
+from repro.runtime.executor import TrialRunner
+from repro.runtime.progress import ProgressAggregator
+from repro.runtime.sharding import plan_shards
+
+__all__ = [
+    "ArtifactCache",
+    "ExecutorConfig",
+    "ProgressAggregator",
+    "TrialRunner",
+    "config_fingerprint",
+    "plan_shards",
+    "resolve_workers",
+]

@@ -1,0 +1,90 @@
+"""Content-addressed artifact cache for simulation outputs.
+
+Training simulations are deterministic functions of their configuration,
+so re-running a pipeline with an unchanged config re-derives byte-for-
+byte the same trial results.  :class:`ArtifactCache` memoises that step
+on disk: the key is a fingerprint of every *result-relevant* config
+field (worker count and chunk size are deliberately excluded — they
+cannot change results), and the value is the lossless npz artifact
+written by :func:`repro.core.datastore.save_trial_artifact`.
+
+A cache directory is safe to share between serial and parallel runs,
+across processes, and across sessions; entries are immutable once
+written (atomic rename) and keyed by content, never by timestamp.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.core.datastore import load_trial_artifact, save_trial_artifact
+from repro.core.distribution import ScoreDistribution
+from repro.core.trials import TrialScoreResult
+
+__all__ = ["ArtifactCache", "config_fingerprint"]
+
+
+def config_fingerprint(fields: Mapping[str, object]) -> str:
+    """Stable hex digest of a flat config mapping.
+
+    Values are canonicalised through JSON (falling back to ``repr`` for
+    non-JSON types such as parameter dataclasses), so logically equal
+    configs hash equal regardless of dict ordering or tuple-vs-list
+    spelling in the caller.
+    """
+    canonical = json.dumps(
+        {str(k): fields[k] for k in fields},
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+class ArtifactCache:
+    """config-hash -> (trial results, pooled distribution) store."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.root = Path(directory)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for *key* lives (whether or not it exists)."""
+        if not key or any(c in key for c in "/\\"):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.root / f"trials-{key}.npz"
+
+    def load(
+        self, key: str
+    ) -> tuple[list[TrialScoreResult], ScoreDistribution] | None:
+        """Return the cached entry for *key*, or ``None`` on a miss.
+
+        A corrupt or format-incompatible entry counts as a miss (it is
+        left in place for inspection; a subsequent :meth:`store`
+        atomically replaces it).
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            entry = load_trial_artifact(path)
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        key: str,
+        results: list[TrialScoreResult],
+        distribution: ScoreDistribution,
+    ) -> Path:
+        """Persist an entry for *key*, returning its path."""
+        return save_trial_artifact(self.path_for(key), results, distribution)

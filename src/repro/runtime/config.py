@@ -1,0 +1,85 @@
+"""Executor configuration for the parallel runtime.
+
+:class:`ExecutorConfig` is the single declarative knob set every parallel
+entry point accepts: how many worker processes, how the work-list is cut
+into chunks, and which multiprocessing start method to use.  Worker
+counts accept the literal string ``"auto"`` (one worker per CPU), so CLI
+flags and environment variables can pass user input straight through.
+
+Determinism note: nothing in this module influences *results* — workers
+and chunk sizes only change how the deterministic work-list is dispatched
+(see :mod:`repro.runtime.sharding`), never the per-item random streams.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExecutorConfig", "resolve_workers"]
+
+
+def resolve_workers(workers: int | str) -> int:
+    """Coerce a worker-count spec (``int``, numeric string or ``"auto"``).
+
+    ``"auto"`` resolves to the machine's CPU count (at least 1).
+    """
+    if isinstance(workers, str):
+        if workers == "auto":
+            try:
+                # Respect CPU affinity / cgroup limits where the OS
+                # exposes them; plain cpu_count() oversubscribes
+                # containers pinned to a subset of the host's cores.
+                return max(len(os.sched_getaffinity(0)), 1)
+            except AttributeError:  # platforms without sched_getaffinity
+                return max(os.cpu_count() or 1, 1)
+        try:
+            workers = int(workers)
+        except ValueError:
+            raise ValueError(
+                f"workers must be a positive integer or 'auto', got {workers!r}"
+            ) from None
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {count}")
+    return count
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How the runtime dispatches a work-list.
+
+    Attributes
+    ----------
+    workers:
+        Number of worker processes, or ``"auto"`` for one per CPU.
+        ``1`` (the default) runs everything serially in-process — no
+        pool, no pickling, byte-for-byte the historical code path.
+    chunk_size:
+        Items per dispatched chunk.  ``None`` picks ``ceil(n / (4 *
+        workers))`` so each worker sees ~4 chunks (good load balancing
+        without drowning in IPC).  Chunking never affects results.
+    mp_start_method:
+        Forwarded to :func:`multiprocessing.get_context` (``"fork"``,
+        ``"spawn"``, ...).  ``None`` uses the platform default.
+    """
+
+    workers: int | str = 1
+    chunk_size: int | None = None
+    mp_start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        resolve_workers(self.workers)  # fail fast on bad specs
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    @property
+    def n_workers(self) -> int:
+        """The resolved worker count (``"auto"`` -> CPU count)."""
+        return resolve_workers(self.workers)
+
+    def chunk_for(self, n_items: int) -> int:
+        """The chunk size used for a work-list of *n_items*."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-n_items // (4 * self.n_workers)))

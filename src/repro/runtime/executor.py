@@ -1,0 +1,221 @@
+"""The worker-pool executor: :class:`TrialRunner`.
+
+``TrialRunner`` owns the fan-out of embarrassingly parallel work-lists —
+the per-tuple permutation trials of the training pipeline
+(:meth:`TrialRunner.run_tuple_trials`) and arbitrary experiment tasks
+(:meth:`TrialRunner.map`, used for Table 4 rows and sensitivity sweeps).
+
+Determinism contract
+--------------------
+Results are **bit-identical** for every ``(workers, chunk_size)``:
+
+* the work-list and its per-item seed sequences are fully materialised
+  *before* dispatch (item ``k`` always gets child ``k`` of the root
+  seed, exactly as the historical serial loop did);
+* chunks carry their item indices, so completion order — which *is*
+  nondeterministic — only affects progress-reporting order, never the
+  position a result lands in;
+* ``workers=1`` short-circuits to a plain in-process loop (no pool, no
+  pickling), preserving the pre-runtime code path byte for byte.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+
+import numpy as np
+
+from repro.core.taskgen import TaskSetTuple
+from repro.core.trials import (
+    ROUNDING_WARNING_PREFIX,
+    TrialScoreResult,
+    balanced_trial_count,
+    format_rounding_warning,
+    run_trials,
+)
+from repro.runtime.config import ExecutorConfig
+from repro.runtime.progress import ProgressAggregator, ProgressCallback
+from repro.runtime.sharding import plan_shards
+from repro.runtime.worker import call_chunk, run_trial_chunk
+from repro.sim.metrics import DEFAULT_TAU
+from repro.util.rng import SeedLike, spawn_seed_sequences
+
+__all__ = ["TrialRunner"]
+
+
+class TrialRunner:
+    """Dispatch deterministic work-lists over a process pool."""
+
+    def __init__(self, config: ExecutorConfig | None = None) -> None:
+        self.config = config or ExecutorConfig()
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+    def _pool(self, n_shards: int) -> ProcessPoolExecutor:
+        context = (
+            multiprocessing.get_context(self.config.mp_start_method)
+            if self.config.mp_start_method is not None
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=min(self.config.n_workers, max(n_shards, 1)),
+            mp_context=context,
+        )
+
+    def _fan_out(
+        self,
+        n_items: int,
+        shards: list[range],
+        submit_chunk: Callable[[ProcessPoolExecutor, range], Future],
+        aggregator: ProgressAggregator,
+    ) -> list:
+        """Dispatch shards over a pool; reassemble results by item index.
+
+        ``submit_chunk(pool, shard)`` must return a future resolving to
+        ``[(index, result), ...]`` for that shard's items.  Completion
+        order only affects progress-reporting order.
+        """
+        slots: list = [None] * n_items
+        with self._pool(len(shards)) as pool:
+            futures = {submit_chunk(pool, shard): shard for shard in shards}
+            try:
+                for future in as_completed(futures):
+                    for index, result in future.result():
+                        slots[index] = result
+                    aggregator.advance(len(futures[future]))
+            except BaseException:
+                # Don't let queued chunks run to completion behind a
+                # fatal error — surface it as soon as it happens.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        return slots
+
+    # ------------------------------------------------------------------
+    # trial simulation
+    # ------------------------------------------------------------------
+    def run_tuple_trials(
+        self,
+        tuples: Sequence[TaskSetTuple],
+        *,
+        nmax: int,
+        trials_per_tuple: int,
+        root_seed: SeedLike,
+        balanced: bool = True,
+        tau: float = DEFAULT_TAU,
+        progress: ProgressCallback | None = None,
+        phase: str = "trials",
+    ) -> list[TrialScoreResult]:
+        """Run every tuple's permutation trials, serial or fanned out.
+
+        Tuple ``k`` always simulates under child ``k`` of *root_seed*,
+        so the returned list is bit-identical for any worker count or
+        chunk size (including the ``workers=1`` in-process path).
+        """
+        n = len(tuples)
+        seeds = spawn_seed_sequences(root_seed, n)
+        aggregator = ProgressAggregator(progress, phase, n)
+
+        if balanced and n > 0:
+            # Warn about balanced-block rounding once per distinct |Q|
+            # rather than per tuple; the per-tuple duplicates from
+            # run_trials are suppressed below (serial) and in
+            # run_trial_chunk (workers).
+            rounded_q_sizes = sorted(
+                {
+                    len(tup.Q)
+                    for tup in tuples
+                    if balanced_trial_count(trials_per_tuple, len(tup.Q))
+                    != trials_per_tuple
+                }
+            )
+            for m_q in rounded_q_sizes:
+                warnings.warn(
+                    format_rounding_warning(trials_per_tuple, m_q), stacklevel=2
+                )
+
+        if self.config.n_workers == 1:
+            results: list[TrialScoreResult] = []
+            with warnings.catch_warnings():
+                warnings.filterwarnings("ignore", message=ROUNDING_WARNING_PREFIX)
+                for tup, seedseq in zip(tuples, seeds):
+                    results.append(
+                        run_trials(
+                            tup,
+                            nmax,
+                            trials_per_tuple,
+                            seed=np.random.default_rng(seedseq),
+                            balanced=balanced,
+                            tau=tau,
+                        )
+                    )
+                    aggregator.advance()
+            return results
+
+        items = [(i, tup, seedseq) for i, (tup, seedseq) in enumerate(zip(tuples, seeds))]
+        shards = plan_shards(n, self.config.chunk_for(n))
+        slots = self._fan_out(
+            n,
+            shards,
+            lambda pool, shard: pool.submit(
+                run_trial_chunk,
+                [items[i] for i in shard],
+                nmax,
+                trials_per_tuple,
+                balanced,
+                tau,
+            ),
+            aggregator,
+        )
+        missing = [i for i, r in enumerate(slots) if r is None]
+        if missing:
+            raise RuntimeError(
+                f"worker chunks returned no result for tuple indices {missing}"
+            )
+        return slots
+
+    # ------------------------------------------------------------------
+    # generic fan-out
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        *,
+        progress: ProgressCallback | None = None,
+        phase: str = "tasks",
+    ) -> list:
+        """``[fn(x) for x in items]`` with the runtime's dispatch policy.
+
+        *fn* must be a module-level callable (or a ``functools.partial``
+        of one) with picklable arguments when ``workers > 1``.  Result
+        order always matches item order.  Unlike
+        :meth:`run_tuple_trials` the default chunk here is 1 — map tasks
+        (whole experiment rows) are coarse enough that load balancing
+        beats batching.
+        """
+        n = len(items)
+        aggregator = ProgressAggregator(progress, phase, n)
+
+        if self.config.n_workers == 1:
+            results = []
+            for item in items:
+                results.append(fn(item))
+                aggregator.advance()
+            return results
+
+        indexed = list(enumerate(items))
+        chunk = self.config.chunk_size if self.config.chunk_size is not None else 1
+        shards = plan_shards(n, chunk)
+        # No missing-slot guard here: None is a legitimate fn return value.
+        return self._fan_out(
+            n,
+            shards,
+            lambda pool, shard: pool.submit(
+                call_chunk, fn, [indexed[i] for i in shard]
+            ),
+            aggregator,
+        )

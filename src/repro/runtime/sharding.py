@@ -1,0 +1,29 @@
+"""Deterministic work-list sharding.
+
+A shard plan is a pure function of ``(n_items, chunk_size)`` — it never
+consults the RNG, the clock or the worker count — so the same work-list
+always splits the same way and results can be reassembled by item index
+no matter which worker finished which chunk first.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["plan_shards"]
+
+
+def plan_shards(n_items: int, chunk_size: int) -> list[range]:
+    """Cut ``range(n_items)`` into contiguous chunks of *chunk_size*.
+
+    Every index appears in exactly one shard and shards preserve the
+    item order (the last shard may be short).  An empty work-list yields
+    an empty plan.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    check_positive_int("chunk_size", chunk_size)
+    return [
+        range(start, min(start + chunk_size, n_items))
+        for start in range(0, n_items, chunk_size)
+    ]

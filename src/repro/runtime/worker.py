@@ -1,0 +1,64 @@
+"""Picklable worker-process entry points.
+
+Everything a :class:`~concurrent.futures.ProcessPoolExecutor` executes
+must be importable by name in the child process, so the chunk runners
+live here as plain module-level functions of plain picklable arguments
+(dataclasses of numpy arrays, :class:`~numpy.random.SeedSequence`\\ s,
+ints, floats).  They are *pure*: results depend only on their arguments,
+which is what makes the fan-out bit-identical to the serial loop.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.taskgen import TaskSetTuple
+from repro.core.trials import ROUNDING_WARNING_PREFIX, TrialScoreResult, run_trials
+
+__all__ = ["run_trial_chunk", "call_chunk"]
+
+
+def run_trial_chunk(
+    items: Sequence[tuple[int, TaskSetTuple, np.random.SeedSequence]],
+    nmax: int,
+    n_trials: int,
+    balanced: bool,
+    tau: float,
+) -> list[tuple[int, TrialScoreResult]]:
+    """Run the permutation trials of one chunk of ``(index, tuple, seed)``.
+
+    Each item carries its own pre-spawned seed sequence, so the stream a
+    tuple sees is a function of its index alone — not of the chunk it
+    landed in or the process that ran it.
+    """
+    out: list[tuple[int, TrialScoreResult]] = []
+    with warnings.catch_warnings():
+        # The dispatcher already warned once about balanced-trial
+        # rounding; each worker process would otherwise repeat it.
+        warnings.filterwarnings("ignore", message=ROUNDING_WARNING_PREFIX)
+        for index, tup, seedseq in items:
+            result = run_trials(
+                tup,
+                nmax,
+                n_trials,
+                seed=np.random.default_rng(seedseq),
+                balanced=balanced,
+                tau=tau,
+            )
+            out.append((index, result))
+    return out
+
+
+def call_chunk(
+    fn: Callable[[object], object], items: Sequence[tuple[int, object]]
+) -> list[tuple[int, object]]:
+    """Apply *fn* to one chunk of ``(index, item)`` pairs.
+
+    The generic sibling of :func:`run_trial_chunk`, used by
+    :meth:`repro.runtime.TrialRunner.map` to fan out arbitrary
+    experiment tasks (Table 4 rows, sensitivity sweep points, ...).
+    """
+    return [(index, fn(item)) for index, item in items]

@@ -30,12 +30,14 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
-    """Create *count* independent generators derived from *seed*.
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """The *count* child :class:`~numpy.random.SeedSequence`\\ s of *seed*.
 
-    Independence holds for any value of *count*; adding more children later
-    does not perturb the streams of earlier ones when the same root seed is
-    used with a larger count (children are taken in order).
+    This is the raw material behind :func:`spawn_generators`.  Child ``k``
+    depends only on ``(seed, k)``, never on how many siblings are spawned
+    or in which order they are consumed — which is what lets the parallel
+    runtime hand child ``k`` to any worker process and still reproduce the
+    serial stream bit for bit.
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
@@ -47,7 +49,17 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
         seq = np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4).tolist())
     else:
         seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(count)]
+    return list(seq.spawn(count))
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create *count* independent generators derived from *seed*.
+
+    Independence holds for any value of *count*; adding more children later
+    does not perturb the streams of earlier ones when the same root seed is
+    used with a larger count (children are taken in order).
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
 
 
 class RngFactory:

@@ -42,13 +42,18 @@ def summarize(values: np.ndarray | list[float]) -> Summary:
     if arr.size == 0:
         raise ValueError("cannot summarize an empty sample")
     std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    lo, hi = float(arr.min()), float(arr.max())
+    # Summation rounding can push the computed mean (and interpolated
+    # median) a ULP outside [min, max]; clamp to keep the invariant.
+    mean = min(max(float(arr.mean()), lo), hi)
+    median = min(max(float(np.median(arr)), lo), hi)
     return Summary(
         n=int(arr.size),
-        median=float(np.median(arr)),
-        mean=float(arr.mean()),
+        median=median,
+        mean=mean,
         std=std,
-        min=float(arr.min()),
-        max=float(arr.max()),
+        min=lo,
+        max=hi,
     )
 
 

@@ -41,12 +41,21 @@ class TestScores:
         assert len(set(counts.tolist())) == 1
 
     def test_trial_budget_rounded_to_blocks(self, tup):
-        res = run_trials(tup, 256, 100, seed=0)  # 100 -> 3 blocks of 32
+        with pytest.warns(UserWarning, match="adjusted to 96"):
+            res = run_trials(tup, 256, 100, seed=0)  # 100 -> 3 blocks of 32
         assert res.n_trials == 96
 
     def test_minimum_one_block(self, tup):
-        res = run_trials(tup, 256, 1, seed=0)
+        with pytest.warns(UserWarning, match="adjusted to 32"):
+            res = run_trials(tup, 256, 1, seed=0)
         assert res.n_trials == 32
+
+    def test_exact_budget_does_not_warn(self, tup):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_trials(tup, 256, 64, seed=0)  # exactly 2 blocks of 32
 
     def test_features_match_q(self, tup, result):
         np.testing.assert_array_equal(result.runtime, tup.Q.runtime)

@@ -5,7 +5,13 @@ import pytest
 
 from repro.experiments.paper_data import PAPER_TABLE4, POLICY_COLUMNS, paper_row
 from repro.experiments.scale import SCALES
-from repro.experiments.table4 import TABLE4_ROWS, build_row_workload, row_ids, run_row
+from repro.experiments.table4 import (
+    TABLE4_ROWS,
+    build_row_workload,
+    row_ids,
+    run_row,
+    run_rows,
+)
 
 
 class TestDeclarations:
@@ -111,3 +117,24 @@ class TestRunRow:
     def test_shape_learned_beats_fcfs(self, smoke_result):
         med = smoke_result.medians()
         assert min(med["F1"], med["F2"]) <= med["FCFS"]
+
+
+class TestRunRows:
+    def test_matches_run_row(self):
+        single = run_row("model_256_actual", SCALES["smoke"], seed=0, policies=("FCFS",))
+        batch = run_rows(["model_256_actual"], SCALES["smoke"], seed=0, policies=("FCFS",))
+        np.testing.assert_array_equal(
+            single.samples["FCFS"], batch[0].samples["FCFS"]
+        )
+
+    def test_custom_row_object_runs_as_given(self):
+        """A modified/unregistered row must run verbatim, not be re-resolved
+        against the TABLE4_ROWS registry by id."""
+        import dataclasses
+
+        custom = dataclasses.replace(
+            TABLE4_ROWS[0], row_id="my-custom-row", backfill=True
+        )
+        (result,) = run_rows([custom], SCALES["smoke"], policies=("FCFS",))
+        assert result.name == "my-custom-row"
+        assert result.backfill is True

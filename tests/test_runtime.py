@@ -1,0 +1,242 @@
+"""Tests for the parallel execution runtime (repro.runtime).
+
+The load-bearing guarantees: (1) serial and parallel runs are
+bit-identical for any worker count and chunk size, (2) a second pipeline
+run with the same config loads from the artifact cache without
+re-simulating, (3) sharding and progress aggregation obey their
+contracts.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+from repro.core.datastore import load_trial_artifact, save_trial_artifact
+from repro.core.pipeline import (
+    PipelineConfig,
+    build_distribution,
+    distribution_cache_key,
+)
+from repro.runtime import (
+    ArtifactCache,
+    ExecutorConfig,
+    ProgressAggregator,
+    TrialRunner,
+    config_fingerprint,
+    plan_shards,
+    resolve_workers,
+)
+
+#: Small enough for process fan-out in a test, big enough to shard.
+SMALL = PipelineConfig(n_tuples=3, trials_per_tuple=32, seed=5)
+
+RESULT_FIELDS = ("runtime", "size", "submit", "scores", "first_task", "trial_avebsld")
+
+
+def assert_results_identical(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        for field in RESULT_FIELDS:
+            np.testing.assert_array_equal(getattr(ra, field), getattr(rb, field))
+
+
+class TestResolveWorkers:
+    def test_int_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_numeric_string(self):
+        assert resolve_workers("2") == 2
+
+    def test_auto(self):
+        assert resolve_workers("auto") >= 1
+
+    @pytest.mark.parametrize("bad", [0, -1, "nope", "0"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            resolve_workers(bad)
+
+
+class TestExecutorConfig:
+    def test_defaults_are_serial(self):
+        cfg = ExecutorConfig()
+        assert cfg.n_workers == 1
+
+    def test_chunk_default_gives_four_chunks_per_worker(self):
+        cfg = ExecutorConfig(workers=2)
+        assert cfg.chunk_for(80) == 10
+        assert cfg.chunk_for(1) == 1
+
+    def test_explicit_chunk_wins(self):
+        assert ExecutorConfig(workers=2, chunk_size=7).chunk_for(100) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(workers=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(chunk_size=0)
+
+
+class TestPlanShards:
+    def test_partition(self):
+        shards = plan_shards(10, 3)
+        assert [list(s) for s in shards] == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_covers_every_index_once(self):
+        for n, chunk in [(1, 1), (7, 7), (7, 100), (32, 5)]:
+            flat = [i for shard in plan_shards(n, chunk) for i in shard]
+            assert flat == list(range(n))
+
+    def test_empty(self):
+        assert plan_shards(0, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1, 2)
+        with pytest.raises(ValueError):
+            plan_shards(5, 0)
+
+
+class TestProgressAggregator:
+    def test_monotone_and_capped(self):
+        seen = []
+        agg = ProgressAggregator(lambda p, d, t: seen.append((p, d, t)), "x", 4)
+        agg.advance(3)
+        agg.advance(3)  # over-report is clamped to total
+        assert seen == [("x", 3, 4), ("x", 4, 4)]
+
+    def test_none_callback(self):
+        ProgressAggregator(None, "x", 1).advance()  # must not raise
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        np.seterr(all="ignore")
+        return build_distribution(SMALL)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("chunk_size", [1, 2])
+    def test_bit_identical(self, serial, workers, chunk_size):
+        _, serial_results, serial_dist = serial
+        _, par_results, par_dist = build_distribution(
+            SMALL, workers=workers, chunk_size=chunk_size
+        )
+        assert_results_identical(serial_results, par_results)
+        np.testing.assert_array_equal(serial_dist.score, par_dist.score)
+        np.testing.assert_array_equal(serial_dist.runtime, par_dist.runtime)
+
+    def test_parallel_progress_contract(self, serial):
+        seen = []
+        build_distribution(
+            SMALL,
+            lambda phase, done, total: seen.append((phase, done, total)),
+            workers=2,
+            chunk_size=1,
+        )
+        assert all(phase == "trials" for phase, _, _ in seen)
+        dones = [done for _, done, _ in seen]
+        assert dones == sorted(dones)
+        assert seen[-1] == ("trials", SMALL.n_tuples, SMALL.n_tuples)
+
+
+class TestTrialRunnerMap:
+    def test_serial_order_and_progress(self):
+        seen = []
+        runner = TrialRunner()
+        out = runner.map(
+            abs, [-3, 1, -2], progress=lambda p, d, t: seen.append((p, d, t))
+        )
+        assert out == [3, 1, 2]
+        assert seen == [("tasks", 1, 3), ("tasks", 2, 3), ("tasks", 3, 3)]
+
+    def test_parallel_preserves_item_order(self):
+        runner = TrialRunner(ExecutorConfig(workers=2))
+        assert runner.map(abs, list(range(-6, 0))) == [6, 5, 4, 3, 2, 1]
+
+
+class TestArtifactPersistence:
+    def test_round_trip_is_lossless(self, tmp_path):
+        np.seterr(all="ignore")
+        _, results, dist = build_distribution(SMALL)
+        path = save_trial_artifact(tmp_path / "artifact.npz", results, dist)
+        loaded_results, loaded_dist = load_trial_artifact(path)
+        assert_results_identical(results, loaded_results)
+        np.testing.assert_array_equal(dist.score, loaded_dist.score)
+
+    def test_version_guard(self, tmp_path):
+        np.seterr(all="ignore")
+        _, results, dist = build_distribution(SMALL)
+        path = save_trial_artifact(tmp_path / "artifact.npz", results, dist)
+        with np.load(path) as data:
+            arrays = dict(data)
+        arrays["format_version"] = np.array([999])
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format"):
+            load_trial_artifact(path)
+
+
+class TestCache:
+    def test_fingerprint_stable_and_order_free(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+    def test_key_ignores_execution_knobs(self):
+        base = distribution_cache_key(SMALL)
+        assert base == distribution_cache_key(PipelineConfig(**vars(SMALL)))
+        assert base != distribution_cache_key(
+            PipelineConfig(n_tuples=3, trials_per_tuple=32, seed=6)
+        )
+
+    def test_invalid_key_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.path_for("../escape")
+
+    def test_second_run_hits_cache_without_simulating(self, tmp_path, monkeypatch):
+        np.seterr(all="ignore")
+        cache = ArtifactCache(tmp_path / "cache")
+        tuples1, results1, dist1 = build_distribution(SMALL, cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+
+        def no_simulation(*args, **kwargs):
+            raise AssertionError("cache hit expected; trials were re-simulated")
+
+        monkeypatch.setattr(
+            pipeline_mod.TrialRunner, "run_tuple_trials", no_simulation
+        )
+        seen = []
+        tuples2, results2, dist2 = build_distribution(
+            SMALL, lambda p, d, t: seen.append((p, d, t)), cache=cache
+        )
+        assert cache.hits == 1
+        assert_results_identical(results1, results2)
+        np.testing.assert_array_equal(dist1.score, dist2.score)
+        # tuples are regenerated deterministically, progress still completes
+        assert len(tuples2) == len(tuples1)
+        np.testing.assert_array_equal(tuples1[0].Q.runtime, tuples2[0].Q.runtime)
+        assert seen == [("trials", SMALL.n_tuples, SMALL.n_tuples)]
+
+    def test_cache_accepts_plain_directory(self, tmp_path):
+        np.seterr(all="ignore")
+        build_distribution(SMALL, cache=tmp_path / "cache2")
+        assert ArtifactCache(tmp_path / "cache2").load(
+            distribution_cache_key(SMALL)
+        ) is not None
+
+    def test_serial_and_parallel_share_one_entry(self, tmp_path):
+        np.seterr(all="ignore")
+        cache = ArtifactCache(tmp_path / "cache3")
+        build_distribution(SMALL, cache=cache, workers=2)
+        _, _, dist = build_distribution(SMALL, cache=cache)  # serial run, same key
+        assert cache.hits == 1
+        assert len(list(cache.root.iterdir())) == 1
+        np.testing.assert_array_equal(dist.score, build_distribution(SMALL)[2].score)
+
+    @pytest.mark.parametrize("junk", [b"not an npz", b"PK\x03\x04truncated zip"])
+    def test_corrupt_entry_is_a_miss(self, tmp_path, junk):
+        cache = ArtifactCache(tmp_path)
+        key = distribution_cache_key(SMALL)
+        cache.path_for(key).write_bytes(junk)
+        assert cache.load(key) is None
