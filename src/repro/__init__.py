@@ -33,6 +33,7 @@ from repro.core import (
     ScoreDistribution,
     obtain_policies,
 )
+from repro.eval import MatrixConfig, MatrixResult, run_matrix, slice_windows
 from repro.experiments import run_dynamic_experiment, run_row, run_rows
 from repro.policies import (
     NonlinearPolicy,
@@ -65,6 +66,8 @@ __all__ = [
     "ArtifactCache",
     "ExecutorConfig",
     "Job",
+    "MatrixConfig",
+    "MatrixResult",
     "NonlinearPolicy",
     "PipelineConfig",
     "PipelineResult",
@@ -85,9 +88,11 @@ __all__ = [
     "paper_policies",
     "read_swf",
     "run_dynamic_experiment",
+    "run_matrix",
     "run_row",
     "run_rows",
     "simulate",
+    "slice_windows",
     "synthetic_trace",
     "write_swf",
 ]

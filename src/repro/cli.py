@@ -4,6 +4,7 @@ Mirrors the three artifact workflows plus convenience commands::
 
     repro-sched train      # §3: tuples -> trials -> distribution -> regression
     repro-sched simulate   # schedule a workload under one policy
+    repro-sched evaluate   # policy x backfill matrix over trace windows
     repro-sched table4     # regenerate Table 4 rows, paper-vs-measured
     repro-sched figures    # regenerate Figures 1-3 data
     repro-sched trace      # emit a synthetic trace stand-in as SWF
@@ -20,6 +21,13 @@ import numpy as np
 
 import repro
 from repro.core.pipeline import PipelineConfig, obtain_policies
+from repro.eval import (
+    BACKFILL_TOKENS,
+    MatrixConfig,
+    render_matrix_report,
+    run_matrix,
+    write_matrix_report,
+)
 from repro.core.regression import RegressionConfig
 from repro.experiments.figures import (
     fig1_trial_score_distributions,
@@ -129,6 +137,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"AVEbsld={result.ave_bsld:.2f} makespan={result.makespan:.0f}s "
         f"util={result.utilization:.3f} backfilled={result.backfill_count}"
     )
+    return 0
+
+
+def _split_csv(value: str) -> list[str]:
+    items = [part.strip() for part in value.split(",") if part.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError(f"empty list {value!r}")
+    return items
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.trace:
+        wl = read_swf(args.trace, keep_failed=not args.drop_failed)
+    else:
+        wl = synthetic_trace(args.synthetic, seed=args.seed, n_jobs=args.jobs)
+        print(
+            f"no --trace given: using synthetic stand-in {wl.name!r}"
+            f" ({len(wl)} jobs)",
+            file=sys.stderr,
+        )
+    window_jobs = args.window_jobs
+    if window_jobs is None and args.window_seconds is None:
+        window_jobs = 5000
+    try:
+        config = MatrixConfig(
+            policies=tuple(args.policies),
+            backfill=tuple(args.backfill),
+            nmax=args.nmax or 0,
+            use_estimates=args.estimates,
+            window_jobs=window_jobs,
+            window_seconds=args.window_seconds,
+            warmup=args.warmup,
+            max_windows=args.max_windows,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"repro-sched evaluate: {exc}") from None
+
+    def progress(stage: str, done: int, total: int) -> None:
+        if done == total or done % max(total // 10, 1) == 0:
+            print(f"  [{stage}] {done}/{total}", file=sys.stderr)
+
+    try:
+        result = run_matrix(
+            wl,
+            config,
+            workers=_workers_from(args),
+            cache=args.cache,
+            progress=progress,
+        )
+        report = render_matrix_report(result, baseline=args.baseline)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"repro-sched evaluate: {exc}") from None
+    print(report)
+    if args.output_dir:
+        paths = write_matrix_report(args.output_dir, result)
+        print(f"wrote {len(paths)} report file(s) to {args.output_dir}")
     return 0
 
 
@@ -284,6 +349,98 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--estimates", action="store_true")
     p.add_argument("--backfill", action="store_true")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "evaluate", help="policy x backfill matrix over trace windows"
+    )
+    p.add_argument(
+        "--trace",
+        metavar="FILE.swf",
+        help="SWF trace to replay (default: a synthetic stand-in)",
+    )
+    p.add_argument(
+        "--synthetic",
+        choices=trace_names(),
+        default="ctc_sp2",
+        help="synthetic fallback trace used when no --trace is given",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=5000, help="synthetic fallback job count"
+    )
+    p.add_argument(
+        "--drop-failed",
+        action="store_true",
+        help="exclude failed/cancelled SWF rows (status 0/5)",
+    )
+    p.add_argument(
+        "--policies",
+        type=_split_csv,
+        default=["fcfs", "f1"],
+        metavar="P1,P2,...",
+        help="comma-separated policy names (default: fcfs,f1)",
+    )
+    p.add_argument(
+        "--backfill",
+        type=_split_csv,
+        default=["none", "easy"],
+        metavar="M1,M2,...",
+        help=f"comma-separated backfill modes from {'/'.join(BACKFILL_TOKENS)}"
+        " (default: none,easy)",
+    )
+    p.add_argument(
+        "--window-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate contiguous windows of N jobs (default 5000)",
+    )
+    p.add_argument(
+        "--window-seconds",
+        type=float,
+        default=None,
+        metavar="T",
+        help="evaluate contiguous windows of T seconds instead",
+    )
+    p.add_argument(
+        "--warmup",
+        type=int,
+        default=0,
+        metavar="N",
+        help="simulate but exclude the first N jobs of every window",
+    )
+    p.add_argument(
+        "--max-windows",
+        type=int,
+        default=None,
+        metavar="K",
+        help="evaluate at most K windows (smoke-testing huge traces)",
+    )
+    p.add_argument(
+        "--nmax",
+        type=int,
+        default=None,
+        help="machine size (default: the trace's own MaxProcs header)",
+    )
+    p.add_argument("--estimates", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="POLICY",
+        help="anchor of the paired per-window deltas (default: first policy)",
+    )
+    p.add_argument(
+        "--output-dir", help="also write eval_matrix.csv / eval_matrix.json here"
+    )
+    p.add_argument(
+        "--cache",
+        type=_cache_dir_type,
+        metavar="DIR",
+        help="artifact-cache directory; a re-run with an unchanged config"
+        " loads every cell instead of re-simulating",
+    )
+    _add_workers_arg(p)
+    p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("table4", help="regenerate Table 4 rows")
     p.add_argument("--rows", nargs="*", choices=row_ids(), default=None)

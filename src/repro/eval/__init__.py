@@ -1,0 +1,47 @@
+"""repro.eval — real-trace evaluation subsystem.
+
+Turns a workload trace (SWF from the Parallel Workloads Archive, or a
+synthetic stand-in) into many independent evaluation scenarios and
+benchmarks scheduling policies across them at worker-pool speed:
+
+* :mod:`repro.eval.windows` — streaming window slicing: contiguous
+  windows of N jobs or T seconds, warm-up trimming, per-window clock
+  re-basing.
+* :mod:`repro.eval.matrix` — the {policies × backfill × windows} matrix
+  runner over :class:`repro.runtime.TrialRunner`, with per-cell
+  content-addressed cache keys: re-running an unchanged config is free.
+* :mod:`repro.eval.report` — per-series summaries, paired per-window
+  policy deltas, CSV/JSON export and a terminal report.
+
+The CLI front-end is ``repro-sched evaluate``.
+"""
+
+from repro.eval.matrix import (
+    BACKFILL_TOKENS,
+    CellResult,
+    MatrixConfig,
+    MatrixResult,
+    run_matrix,
+)
+from repro.eval.report import (
+    matrix_to_csv,
+    matrix_to_json,
+    render_matrix_report,
+    write_matrix_report,
+)
+from repro.eval.windows import Window, slice_windows, workload_fingerprint
+
+__all__ = [
+    "BACKFILL_TOKENS",
+    "CellResult",
+    "MatrixConfig",
+    "MatrixResult",
+    "Window",
+    "matrix_to_csv",
+    "matrix_to_json",
+    "render_matrix_report",
+    "run_matrix",
+    "slice_windows",
+    "workload_fingerprint",
+    "write_matrix_report",
+]

@@ -1,0 +1,415 @@
+"""The evaluation matrix runner: {policies × backfill modes × windows}.
+
+One *cell* of the matrix is the deterministic simulation of one trace
+window under one policy and one backfill mode; the matrix fans its cells
+over :class:`repro.runtime.TrialRunner`, so a real-trace evaluation
+scales with the worker pool exactly like training does.  Three contracts
+carry over from the runtime:
+
+* **determinism** — cells are enumerated window-major before dispatch
+  and reassembled by index, so the result is bit-identical for any
+  ``workers`` / ``chunk_size`` (the engine itself is a pure function of
+  its inputs; the recorded per-cell seed is spawned per index for any
+  future stochastic policy, never drawn from a shared stream);
+* **content-addressed caching** — each cell's key fingerprints the
+  window's arrays plus every result-relevant knob
+  (:func:`repro.runtime.config_fingerprint`), so a re-run with an
+  unchanged config loads every cell from the
+  :class:`~repro.runtime.ArtifactCache` without simulating;
+* **fail-fast validation** — the workload is validated against the
+  machine size on entry (:meth:`Workload.validate_for_machine`), naming
+  the offending job instead of dying mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import cached_property
+
+import numpy as np
+
+from repro.eval.windows import Window, slice_windows
+from repro.policies.registry import get_policy
+from repro.runtime import ArtifactCache, ExecutorConfig, TrialRunner, config_fingerprint
+from repro.runtime.progress import ProgressCallback
+from repro.sim.engine import normalize_backfill, simulate
+from repro.sim.job import Workload
+from repro.sim.metrics import DEFAULT_TAU
+from repro.util.rng import spawn_seed_sequences
+from repro.util.stats import Summary, summarize
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "BACKFILL_TOKENS",
+    "CellResult",
+    "MatrixConfig",
+    "MatrixResult",
+    "run_matrix",
+]
+
+#: Canonical backfill-axis tokens (CLI and config spelling).
+BACKFILL_TOKENS = ("none", "easy", "conservative")
+
+#: Bump when CellResult's cached fields change; stale entries turn into
+#: cache misses instead of mis-decoding.
+_CELL_FORMAT = 1
+
+
+def _normalize_backfill_token(token: str | bool | None) -> str:
+    # The engine owns the vocabulary; the matrix axis just needs a string
+    # token ("none" rather than None) for cache keys and CSV columns.
+    return normalize_backfill(token) or "none"
+
+
+@dataclass(frozen=True)
+class MatrixConfig:
+    """Declarative description of one evaluation matrix.
+
+    Exactly one of *window_jobs* / *window_seconds* selects the slicing
+    axis.  ``nmax=0`` defers to the workload's own machine size (SWF
+    header ``MaxProcs``).  Policy names are canonicalised through the
+    registry and backfill tokens through :data:`BACKFILL_TOKENS`, so two
+    configs that mean the same thing fingerprint the same.
+    """
+
+    policies: tuple[str, ...]
+    backfill: tuple[str, ...] = ("none",)
+    nmax: int = 0
+    use_estimates: bool = False
+    tau: float = DEFAULT_TAU
+    window_jobs: int | None = None
+    window_seconds: float | None = None
+    warmup: int = 0
+    max_windows: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ValueError("at least one policy is required")
+        canonical = tuple(get_policy(name).name for name in self.policies)
+        if len(set(canonical)) != len(canonical):
+            raise ValueError(f"duplicate policies in {self.policies}")
+        object.__setattr__(self, "policies", canonical)
+        modes = tuple(_normalize_backfill_token(b) for b in self.backfill)
+        if not modes:
+            raise ValueError("at least one backfill mode is required")
+        if len(set(modes)) != len(modes):
+            raise ValueError(f"duplicate backfill modes in {self.backfill}")
+        object.__setattr__(self, "backfill", modes)
+        if (self.window_jobs is None) == (self.window_seconds is None):
+            raise ValueError("pass exactly one of window_jobs / window_seconds")
+        if self.window_jobs is not None:
+            check_positive_int("window_jobs", self.window_jobs)
+        if self.window_seconds is not None:
+            check_positive("window_seconds", float(self.window_seconds))
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.max_windows is not None:
+            check_positive_int("max_windows", self.max_windows)
+        if self.nmax < 0:
+            raise ValueError(f"nmax must be >= 0, got {self.nmax}")
+        if self.tau <= 0:
+            raise ValueError(f"tau must be > 0, got {self.tau}")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Metrics of one (window, policy, backfill) simulation."""
+
+    window: int
+    policy: str
+    backfill: str
+    n_jobs: int
+    n_scored: int
+    ave_bsld: float
+    utilization: float
+    makespan: float
+    backfilled: int
+    seed: int
+    cached: bool = False
+
+    def to_entry(self) -> dict:
+        """JSON-cacheable representation (format-versioned)."""
+        return {
+            "format": _CELL_FORMAT,
+            "window": self.window,
+            "policy": self.policy,
+            "backfill": self.backfill,
+            "n_jobs": self.n_jobs,
+            "n_scored": self.n_scored,
+            "ave_bsld": self.ave_bsld,
+            "utilization": self.utilization,
+            "makespan": self.makespan,
+            "backfilled": self.backfilled,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_entry(cls, entry: dict) -> "CellResult | None":
+        """Decode a cache entry; ``None`` for foreign/stale formats."""
+        if not isinstance(entry, dict) or entry.get("format") != _CELL_FORMAT:
+            return None
+        try:
+            return cls(
+                window=int(entry["window"]),
+                policy=str(entry["policy"]),
+                backfill=str(entry["backfill"]),
+                n_jobs=int(entry["n_jobs"]),
+                n_scored=int(entry["n_scored"]),
+                ave_bsld=float(entry["ave_bsld"]),
+                utilization=float(entry["utilization"]),
+                makespan=float(entry["makespan"]),
+                backfilled=int(entry["backfilled"]),
+                seed=int(entry["seed"]),
+                cached=True,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """Picklable work unit handed to the worker pool."""
+
+    window: int
+    policy: str
+    backfill: str
+    submit: np.ndarray
+    runtime: np.ndarray
+    size: np.ndarray
+    estimate: np.ndarray
+    nmax: int
+    use_estimates: bool
+    tau: float
+    warmup: int
+    seed: int
+
+
+def _simulate_cell(task: _CellTask) -> CellResult:
+    """Simulate one matrix cell (module-level: pool-picklable)."""
+    wl = Workload(
+        submit=task.submit,
+        runtime=task.runtime,
+        size=task.size,
+        estimate=task.estimate,
+        job_ids=np.arange(len(task.submit), dtype=np.int64),
+        name=f"cell[w{task.window}]",
+        nmax=task.nmax,
+    )
+    result = simulate(
+        wl,
+        get_policy(task.policy),
+        task.nmax,
+        use_estimates=task.use_estimates,
+        backfill=task.backfill,
+        tau=task.tau,
+    )
+    scored = result.bsld()[task.warmup :]
+    return CellResult(
+        window=task.window,
+        policy=task.policy,
+        backfill=task.backfill,
+        n_jobs=len(wl),
+        n_scored=len(scored),
+        ave_bsld=float(scored.mean()),
+        utilization=result.utilization,
+        makespan=result.makespan,
+        backfilled=result.backfill_count,
+        seed=task.seed,
+    )
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """All cells of one evaluation matrix, window-major."""
+
+    config: MatrixConfig
+    trace_name: str
+    nmax: int
+    n_windows: int
+    cells: tuple[CellResult, ...]
+    n_simulated: int
+    n_cached: int
+
+    @cached_property
+    def _by_key(self) -> dict[tuple[int, str, str], CellResult]:
+        return {(c.window, c.policy, c.backfill): c for c in self.cells}
+
+    def cell(self, window: int, policy: str, backfill: str) -> CellResult:
+        """Look up one cell (canonical policy/backfill spelling)."""
+        return self._by_key[(window, policy, backfill)]
+
+    def samples(self, policy: str, backfill: str) -> np.ndarray:
+        """Per-window AVEbsld of one (policy, backfill) series."""
+        return np.array(
+            [
+                self._by_key[(w, policy, backfill)].ave_bsld
+                for w in range(self.n_windows)
+            ],
+            dtype=float,
+        )
+
+    def summaries(self) -> dict[tuple[str, str], Summary]:
+        """AVEbsld summary per (policy, backfill) series over windows."""
+        return {
+            (p, b): summarize(self.samples(p, b))
+            for p in self.config.policies
+            for b in self.config.backfill
+        }
+
+    def paired_deltas(self, baseline: str | None = None) -> dict[tuple[str, str], np.ndarray]:
+        """Per-window ``AVEbsld(policy) - AVEbsld(baseline)`` deltas.
+
+        Pairing is within a window and a backfill mode — both series saw
+        the identical job stream, so the difference isolates the policy
+        (the paper's boxplots make the same pairing across sequences).
+        *baseline* defaults to the config's first policy.
+        """
+        base = get_policy(baseline).name if baseline else self.config.policies[0]
+        if base not in self.config.policies:
+            raise ValueError(
+                f"baseline {base!r} is not part of this matrix {self.config.policies}"
+            )
+        return {
+            (p, b): self.samples(p, b) - self.samples(base, b)
+            for p in self.config.policies
+            if p != base
+            for b in self.config.backfill
+        }
+
+    def best(self, backfill: str | None = None) -> str:
+        """Policy with the lowest median AVEbsld (optionally one mode)."""
+        modes = (
+            (_normalize_backfill_token(backfill),)
+            if backfill is not None
+            else self.config.backfill
+        )
+        medians = {
+            p: float(
+                np.median(np.concatenate([self.samples(p, b) for b in modes]))
+            )
+            for p in self.config.policies
+        }
+        return min(medians, key=medians.get)
+
+
+def _cell_key(window: Window, config: MatrixConfig, nmax: int, policy: str, backfill: str) -> str:
+    return config_fingerprint(
+        {
+            "kind": "eval-cell",
+            "format": _CELL_FORMAT,
+            "window": window.fingerprint(),
+            "policy": policy,
+            "backfill": backfill,
+            "nmax": nmax,
+            "use_estimates": config.use_estimates,
+            "tau": config.tau,
+        }
+    )
+
+
+def run_matrix(
+    workload: Workload,
+    config: MatrixConfig,
+    *,
+    workers: int | str = 1,
+    chunk_size: int | None = None,
+    cache: str | ArtifactCache | None = None,
+    progress: ProgressCallback | None = None,
+) -> MatrixResult:
+    """Evaluate *workload* over the full policy × backfill × window matrix.
+
+    Window slicing happens here so every cell of a window sees the
+    identical job stream (paired comparisons).  With *cache*, cells
+    already present are loaded instead of simulated and fresh cells are
+    stored; only cache-missing cells are dispatched to the pool.
+    """
+    nmax = config.nmax or workload.nmax
+    if nmax < 1:
+        raise ValueError(
+            "machine size unknown: set MatrixConfig.nmax or use a workload"
+            " that carries one (SWF header MaxProcs)"
+        )
+    workload.validate_for_machine(nmax)
+    windows = slice_windows(
+        workload,
+        jobs=config.window_jobs,
+        seconds=config.window_seconds,
+        warmup=config.warmup,
+        max_windows=config.max_windows,
+    )
+    if not windows:
+        raise ValueError(
+            "no evaluation windows survived slicing; enlarge the window or"
+            " lower warmup"
+        )
+
+    axes = [
+        (win, policy, backfill)
+        for win in windows
+        for policy in config.policies
+        for backfill in config.backfill
+    ]
+    # Child k of the root seed belongs to cell k whether or not the cell
+    # is later served from cache, so cached and fresh runs agree.
+    seeds = [
+        int(seq.generate_state(1, np.uint64)[0])
+        for seq in spawn_seed_sequences(config.seed, len(axes))
+    ]
+
+    store = (
+        cache
+        if cache is None or isinstance(cache, ArtifactCache)
+        else ArtifactCache(cache)
+    )
+
+    slots: list[CellResult | None] = [None] * len(axes)
+    keys: list[str | None] = [None] * len(axes)
+    todo: list[int] = []
+    for k, (win, policy, backfill) in enumerate(axes):
+        if store is not None:
+            key = _cell_key(win, config, nmax, policy, backfill)
+            keys[k] = key
+            entry = store.load_json(key)
+            hit = CellResult.from_entry(entry) if entry is not None else None
+            if hit is not None:
+                # The window index in this run wins over the cached one:
+                # max_windows truncation can renumber windows between runs.
+                slots[k] = replace(hit, window=win.index, seed=seeds[k])
+                continue
+        todo.append(k)
+
+    if todo:
+        tasks = [
+            _CellTask(
+                window=axes[k][0].index,
+                policy=axes[k][1],
+                backfill=axes[k][2],
+                submit=axes[k][0].workload.submit,
+                runtime=axes[k][0].workload.runtime,
+                size=axes[k][0].workload.size,
+                estimate=axes[k][0].workload.estimate,
+                nmax=nmax,
+                use_estimates=config.use_estimates,
+                tau=config.tau,
+                warmup=axes[k][0].warmup,
+                seed=seeds[k],
+            )
+            for k in todo
+        ]
+        runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
+        fresh = runner.map(_simulate_cell, tasks, progress=progress, phase="cells")
+        for k, cell in zip(todo, fresh):
+            slots[k] = cell
+            if store is not None:
+                store.store_json(keys[k], cell.to_entry())
+
+    return MatrixResult(
+        config=config,
+        trace_name=workload.name,
+        nmax=nmax,
+        n_windows=len(windows),
+        cells=tuple(slots),  # type: ignore[arg-type]
+        n_simulated=len(todo),
+        n_cached=len(axes) - len(todo),
+    )

@@ -1,0 +1,162 @@
+"""Aggregation and reporting of evaluation-matrix results.
+
+Per-cell metrics become three artifacts:
+
+* a long-format CSV (one row per cell — the raw material for any
+  plotting tool),
+* a JSON document (config + cells + per-series summaries, for
+  programmatic consumers),
+* a terminal report: per backfill mode, one table of per-policy
+  AVEbsld statistics over windows plus *paired* per-window deltas
+  against a baseline policy (both series of a pair saw the identical
+  job stream, so the delta isolates the policy decision).
+
+The CSV/JSON writers are wired into :func:`repro.experiments.export.write_all`
+alongside the figure exporters.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.matrix import MatrixResult
+from repro.policies.registry import get_policy
+
+__all__ = [
+    "matrix_to_csv",
+    "matrix_to_json",
+    "render_matrix_report",
+    "write_matrix_report",
+]
+
+
+def matrix_to_csv(result: MatrixResult) -> str:
+    """Long-format per-cell rows: one line per (window, policy, backfill)."""
+    buf = io.StringIO()
+    cfg = result.config
+    buf.write(
+        f"# trace={result.trace_name} nmax={result.nmax}"
+        f" windows={result.n_windows} warmup={cfg.warmup}"
+        f" estimates={cfg.use_estimates} tau={cfg.tau:g}\n"
+    )
+    buf.write(
+        "window,policy,backfill,n_jobs,n_scored,ave_bsld,"
+        "utilization,makespan,backfilled\n"
+    )
+    for c in result.cells:
+        buf.write(
+            f"{c.window},{c.policy},{c.backfill},{c.n_jobs},{c.n_scored},"
+            f"{c.ave_bsld:.10g},{c.utilization:.10g},{c.makespan:.10g},"
+            f"{c.backfilled}\n"
+        )
+    return buf.getvalue()
+
+
+def matrix_to_json(result: MatrixResult) -> str:
+    """Config + cells + per-series summaries as one JSON document."""
+    cfg = result.config
+    summaries = {
+        f"{p}/{b}": {
+            "n": s.n,
+            "median": s.median,
+            "mean": s.mean,
+            "std": s.std,
+            "min": s.min,
+            "max": s.max,
+        }
+        for (p, b), s in result.summaries().items()
+    }
+    doc = {
+        "trace": result.trace_name,
+        "nmax": result.nmax,
+        "n_windows": result.n_windows,
+        "n_simulated": result.n_simulated,
+        "n_cached": result.n_cached,
+        "config": {
+            "policies": list(cfg.policies),
+            "backfill": list(cfg.backfill),
+            "use_estimates": cfg.use_estimates,
+            "tau": cfg.tau,
+            "window_jobs": cfg.window_jobs,
+            "window_seconds": cfg.window_seconds,
+            "warmup": cfg.warmup,
+            "max_windows": cfg.max_windows,
+            "seed": cfg.seed,
+        },
+        "summaries": summaries,
+        "cells": [c.to_entry() for c in result.cells],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_matrix_report(result: MatrixResult, *, baseline: str | None = None) -> str:
+    """Terminal report: per-mode policy tables + paired deltas.
+
+    *baseline* (default: the matrix's first policy) anchors the delta
+    block; negative deltas mean the policy beat the baseline in that
+    window.
+    """
+    cfg = result.config
+    base = get_policy(baseline).name if baseline else cfg.policies[0]
+    summaries = result.summaries()
+    deltas = result.paired_deltas(base) if len(cfg.policies) > 1 else {}
+
+    lines = [
+        f"Evaluation matrix for {result.trace_name}"
+        f" (nmax={result.nmax}, {result.n_windows} windows,"
+        f" {'estimates' if cfg.use_estimates else 'actual runtimes'})",
+        f"cells: {len(result.cells)}"
+        f" (simulated {result.n_simulated}, cached {result.n_cached})",
+    ]
+    col = max(9, *(len(p) + 2 for p in cfg.policies))
+    for mode in cfg.backfill:
+        lines.append(f"\nbackfill={mode}  AVEbsld over windows:")
+        head = "".ljust(10) + "".join(p.rjust(col) for p in cfg.policies)
+        lines.append(head)
+        for stat in ("median", "mean", "std"):
+            row = stat.ljust(10) + "".join(
+                f"{getattr(summaries[(p, mode)], stat):.2f}".rjust(col)
+                for p in cfg.policies
+            )
+            lines.append(row)
+        util = "util".ljust(10) + "".join(
+            f"{np.mean([c.utilization for c in result.cells if c.policy == p and c.backfill == mode]):.3f}".rjust(
+                col
+            )
+            for p in cfg.policies
+        )
+        lines.append(util)
+        if deltas:
+            lines.append(f"paired Δ vs {base} (negative = better), per window:")
+            for p in cfg.policies:
+                if p == base:
+                    continue
+                d = deltas[(p, mode)]
+                wins = int((d < 0).sum())
+                lines.append(
+                    f"  {p:<8s} median Δ={float(np.median(d)):+.2f}"
+                    f"  mean Δ={float(d.mean()):+.2f}"
+                    f"  wins {wins}/{len(d)}"
+                )
+    lines.append(
+        f"\nbest policy (lowest median AVEbsld): {result.best()}"
+    )
+    return "\n".join(lines)
+
+
+def write_matrix_report(
+    directory: str | Path, result: MatrixResult, *, stem: str = "eval_matrix"
+) -> list[Path]:
+    """Write ``<stem>.csv`` and ``<stem>.json`` into *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for suffix, text in ((".csv", matrix_to_csv(result)), (".json", matrix_to_json(result))):
+        path = directory / f"{stem}{suffix}"
+        path.write_text(text, encoding="utf-8")
+        paths.append(path)
+    return paths

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import zipfile
 from collections.abc import Mapping
 from pathlib import Path
@@ -53,11 +54,15 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
 
-    def path_for(self, key: str) -> Path:
-        """Where the entry for *key* lives (whether or not it exists)."""
+    @staticmethod
+    def _check_key(key: str) -> str:
         if not key or any(c in key for c in "/\\"):
             raise ValueError(f"invalid cache key {key!r}")
-        return self.root / f"trials-{key}.npz"
+        return key
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for *key* lives (whether or not it exists)."""
+        return self.root / f"trials-{self._check_key(key)}.npz"
 
     def load(
         self, key: str
@@ -88,3 +93,42 @@ class ArtifactCache:
     ) -> Path:
         """Persist an entry for *key*, returning its path."""
         return save_trial_artifact(self.path_for(key), results, distribution)
+
+    # ------------------------------------------------------------------
+    # generic JSON entries (evaluation cells and other small artifacts)
+    # ------------------------------------------------------------------
+    def json_path_for(self, key: str) -> Path:
+        """Where the JSON entry for *key* lives (whether or not it exists)."""
+        return self.root / f"eval-{self._check_key(key)}.json"
+
+    def load_json(self, key: str) -> object | None:
+        """Return the JSON entry for *key*, or ``None`` on a miss.
+
+        The same hit/miss accounting and corruption tolerance as
+        :meth:`load` apply: an unreadable entry is a miss and is replaced
+        atomically by the next :meth:`store_json`.
+        """
+        path = self.json_path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            obj = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return obj
+
+    def store_json(self, key: str, obj: object) -> Path:
+        """Persist a JSON-serialisable entry for *key* (atomic rename)."""
+        path = self.json_path_for(key)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            tmp.write_text(
+                json.dumps(obj, sort_keys=True, allow_nan=True), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path

@@ -38,6 +38,12 @@ def shadow_schedule(
     jobs) and *extra* is the number of cores that will still be free at
     that moment after the head starts.  Backfilled jobs that outlive the
     shadow time may use at most *extra* cores.
+
+    Raises :class:`ValueError` when the head can *never* start — i.e.
+    ``head_size`` exceeds the cores the machine can ever free.  Callers
+    that validate their workload against the machine size up front
+    (:meth:`repro.sim.job.Workload.validate_for_machine`, which the
+    engine applies on entry) never trigger this.
     """
     if head_size <= free:
         raise ValueError("head fits now; no reservation needed")
@@ -51,9 +57,10 @@ def shadow_schedule(
         avail += size
         if avail >= head_size:
             return end, avail - head_size
-    raise RuntimeError(
-        "running jobs never free enough cores for the head"
-        f" (head_size={head_size}, max avail={avail})"
+    raise ValueError(
+        f"queue head requests {head_size} cores but at most {avail} can ever"
+        " become free; validate the workload against the machine size"
+        " (Workload.validate_for_machine) before scheduling"
     )
 
 

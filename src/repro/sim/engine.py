@@ -48,17 +48,20 @@ from repro.util.stats import Summary, summarize
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.policies.base import Policy
 
-__all__ = ["SimulationConfig", "ScheduleResult", "simulate"]
+__all__ = ["SimulationConfig", "ScheduleResult", "normalize_backfill", "simulate"]
 
 
-#: Accepted backfill modes: ``False``/``None`` (off), ``True``/``"easy"``
-#: (EASY aggressive backfilling, the paper's algorithm) and
-#: ``"conservative"`` (every queued job holds a reservation).
-BACKFILL_MODES = (False, True, "easy", "conservative")
+#: Accepted backfill modes: ``False``/``None``/``"none"``/``"off"`` (off),
+#: ``True``/``"easy"`` (EASY aggressive backfilling, the paper's
+#: algorithm) and ``"conservative"`` (every queued job holds a
+#: reservation).
+BACKFILL_MODES = (False, True, "none", "easy", "conservative")
 
 
-def _normalize_backfill(value: bool | str | None) -> str | None:
-    if value in (False, None):
+def normalize_backfill(value: bool | str | None) -> str | None:
+    """Canonicalise a backfill-mode spelling (the single vocabulary used
+    by the engine, the evaluation matrix and the CLI)."""
+    if value in (False, None, "none", "off"):
         return None
     if value in (True, "easy"):
         return "easy"
@@ -83,7 +86,7 @@ class SimulationConfig:
             raise ValueError(f"nmax must be >= 1, got {self.nmax}")
         if self.tau <= 0:
             raise ValueError(f"tau must be > 0, got {self.tau}")
-        object.__setattr__(self, "backfill", _normalize_backfill(self.backfill))
+        object.__setattr__(self, "backfill", normalize_backfill(self.backfill))
 
     @property
     def backfill_mode(self) -> str | None:

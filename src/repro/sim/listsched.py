@@ -57,7 +57,11 @@ def simulate_fixed_priority(
         return np.empty(0, dtype=float)
     sizes = [int(x) for x in size]
     if max(sizes) > nmax:
-        raise ValueError("a job is larger than the machine")
+        worst = max(range(m), key=lambda i: sizes[i])
+        raise ValueError(
+            f"job {worst} needs {sizes[worst]} cores"
+            f" but the machine has only {nmax}"
+        )
 
     subs = [float(x) for x in submit]
     runs = [float(x) for x in runtime]

@@ -26,7 +26,9 @@ Field map (1-based, per the PWA definition):
 ====  =========================  =================================
 
 Jobs with non-positive runtime or size are always dropped (they cannot be
-scheduled); the count is reported in ``extra['dropped']``.
+scheduled); the count is reported in ``extra['dropped']``.  Jobs excluded
+*deliberately* — schedulable rows removed because ``keep_failed=False``
+and their status is 0/5 — are counted separately in ``extra['filtered']``.
 """
 
 from __future__ import annotations
@@ -90,10 +92,14 @@ def parse_swf_text(
     size = np.where(req_procs > 0, req_procs, alloc)
     estimate = np.where(req_time > 0, req_time, runtime)
 
-    ok = (runtime > 0) & (size > 0) & (submit >= 0)
+    schedulable = (runtime > 0) & (size > 0) & (submit >= 0)
+    dropped = int((~schedulable).sum())
+    ok = schedulable
+    filtered = 0
     if not keep_failed:
-        ok &= (status != 0) & (status != 5)
-    dropped = int((~ok).sum())
+        status_ok = (status != 0) & (status != 5)
+        filtered = int((schedulable & ~status_ok).sum())
+        ok = schedulable & status_ok
 
     nmax = 0
     for key in ("MaxProcs", "MaxNodes"):
@@ -112,7 +118,7 @@ def parse_swf_text(
         job_ids=job_id[ok].astype(np.int64),
         name=header.get("Computer", name),
         nmax=nmax,
-        extra={"header": header, "dropped": dropped},
+        extra={"header": header, "dropped": dropped, "filtered": filtered},
     )
     return wl
 
@@ -136,8 +142,10 @@ def write_swf(
     """Serialise *workload* to SWF text (and optionally write it to *path*).
 
     Only the fields the library consumes are populated; the rest carry the
-    SWF "unknown" marker ``-1``.  Reading the output back yields an
-    equivalent workload (round-trip tested).
+    SWF "unknown" marker ``-1``.  Non-integer values are written with
+    ``repr`` (the shortest decimal that round-trips the float exactly), so
+    reading the output back yields a bit-identical workload (round-trip
+    tested, including fractional submit/runtime values).
     """
     buf = io.StringIO()
     meta = {"Computer": workload.name}
@@ -157,7 +165,8 @@ def write_swf(
         fields[10] = 1.0  # status: completed
         buf.write(
             " ".join(
-                str(int(f)) if float(f).is_integer() else f"{f:.2f}" for f in fields
+                str(int(f)) if float(f).is_integer() else repr(float(f))
+                for f in fields
             )
             + "\n"
         )

@@ -1,5 +1,7 @@
 """Tests for the repro-sched command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -12,7 +14,15 @@ class TestParser:
 
     def test_all_subcommands_known(self):
         parser = build_parser()
-        for cmd in ("train", "simulate", "table4", "figures", "trace", "info"):
+        for cmd in (
+            "train",
+            "simulate",
+            "evaluate",
+            "table4",
+            "figures",
+            "trace",
+            "info",
+        ):
             args = parser.parse_args([cmd] if cmd != "trace" else [cmd, "curie"])
             assert args.command == cmd
 
@@ -152,6 +162,107 @@ class TestAnalyze:
         repro.write_swf(wl, path)
         assert main(["analyze", "--swf", str(path)]) == 0
         assert "60 jobs" in capsys.readouterr().out
+
+
+FIXTURE_SWF = str(Path(__file__).parent / "data" / "ctc_tiny.swf")
+
+
+class TestEvaluate:
+    def _run(self, *extra):
+        return main(
+            [
+                "evaluate",
+                "--trace",
+                FIXTURE_SWF,
+                "--window-jobs",
+                "50",
+                "--warmup",
+                "5",
+                *extra,
+            ]
+        )
+
+    def test_swf_matrix_report(self, capsys):
+        assert self._run() == 0
+        out = capsys.readouterr().out
+        assert "Evaluation matrix for CTC SP2" in out
+        assert "backfill=none" in out
+        assert "backfill=easy" in out
+        assert "paired Δ vs FCFS" in out
+
+    def test_workers_bit_identical_output(self, capsys):
+        assert self._run("--workers", "1") == 0
+        serial = capsys.readouterr().out
+        assert self._run("--workers", "4") == 0
+        fanned = capsys.readouterr().out
+        assert serial == fanned
+
+    def test_cache_second_run_free(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert self._run("--cache", cache) == 0
+        assert "simulated 16, cached 0" in capsys.readouterr().out
+        assert self._run("--cache", cache) == 0
+        assert "simulated 0, cached 16" in capsys.readouterr().out
+
+    def test_output_dir_written(self, capsys, tmp_path):
+        out = tmp_path / "report"
+        assert self._run("--output-dir", str(out)) == 0
+        files = sorted(p.name for p in out.iterdir())
+        assert files == ["eval_matrix.csv", "eval_matrix.json"]
+        lines = (out / "eval_matrix.csv").read_text().splitlines()
+        assert lines[1].startswith("window,policy,backfill")
+        assert len(lines) == 2 + 16
+
+    def test_synthetic_fallback(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--synthetic",
+                "ctc_sp2",
+                "--jobs",
+                "150",
+                "--window-jobs",
+                "50",
+                "--policies",
+                "fcfs,spt",
+                "--backfill",
+                "easy",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "synthetic stand-in" in captured.err
+        assert "backfill=easy" in captured.out
+
+    def test_bad_policy_list_rejected(self):
+        with pytest.raises(SystemExit, match="unknown policy"):
+            self._run("--policies", "fcfs,bogus")
+
+    def test_bad_backfill_rejected(self):
+        with pytest.raises(SystemExit, match="unknown backfill"):
+            self._run("--backfill", "sometimes")
+
+    def test_conflicting_window_axes_rejected(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            self._run("--window-seconds", "100")
+
+    def test_zero_window_jobs_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="window_jobs"):
+            main(["evaluate", "--trace", FIXTURE_SWF, "--window-jobs", "0"])
+
+    def test_lowercase_baseline_accepted(self, capsys):
+        assert self._run("--baseline", "fcfs") == 0
+        assert "paired Δ vs FCFS" in capsys.readouterr().out
+
+    def test_unknown_baseline_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown policy"):
+            self._run("--baseline", "bogus")
+
+    def test_missing_machine_size_rejected_cleanly(self, tmp_path):
+        headerless = tmp_path / "nohdr.swf"
+        headerless.write_text("1 0 0 10 1 -1 -1 1 10 -1 1\n2 1 0 10 1 -1 -1 1 10 -1 1\n")
+        with pytest.raises(SystemExit, match="machine size unknown"):
+            main(["evaluate", "--trace", str(headerless), "--window-jobs", "2"])
 
 
 class TestFiguresExport:

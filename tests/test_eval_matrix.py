@@ -1,0 +1,238 @@
+"""Tests for repro.eval.matrix and repro.eval.report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.matrix import MatrixConfig, MatrixResult, run_matrix
+from repro.eval.report import (
+    matrix_to_csv,
+    matrix_to_json,
+    render_matrix_report,
+    write_matrix_report,
+)
+from repro.experiments.export import write_all
+from repro.runtime import ArtifactCache
+from repro.workloads.traces import synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_trace("ctc_sp2", n_jobs=200, seed=7)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MatrixConfig(
+        policies=("fcfs", "f1"),
+        backfill=("none", "easy"),
+        window_jobs=50,
+        warmup=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(trace, config):
+    return run_matrix(trace, config)
+
+
+class TestConfig:
+    def test_policy_names_canonicalised(self):
+        cfg = MatrixConfig(policies=("fcfs", "spt"), window_jobs=10)
+        assert cfg.policies == ("FCFS", "SPT")
+
+    def test_backfill_tokens_normalised(self):
+        cfg = MatrixConfig(
+            policies=("fcfs",), backfill=(False, True), window_jobs=10
+        )
+        assert cfg.backfill == ("none", "easy")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            MatrixConfig(policies=("nope",), window_jobs=10)
+
+    def test_unknown_backfill_rejected(self):
+        with pytest.raises(ValueError, match="unknown backfill"):
+            MatrixConfig(policies=("fcfs",), backfill=("often",), window_jobs=10)
+
+    def test_duplicate_policies_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MatrixConfig(policies=("fcfs", "FCFS"), window_jobs=10)
+
+    def test_exactly_one_window_axis(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            MatrixConfig(policies=("fcfs",))
+        with pytest.raises(ValueError, match="exactly one"):
+            MatrixConfig(policies=("fcfs",), window_jobs=5, window_seconds=10.0)
+
+    def test_window_knobs_validated_at_config_time(self):
+        with pytest.raises(ValueError, match="window_jobs"):
+            MatrixConfig(policies=("fcfs",), window_jobs=0)
+        with pytest.raises(ValueError, match="window_seconds"):
+            MatrixConfig(policies=("fcfs",), window_seconds=-1.0)
+        with pytest.raises(ValueError, match="warmup"):
+            MatrixConfig(policies=("fcfs",), window_jobs=5, warmup=-1)
+
+    def test_backfill_vocabulary_shared_with_engine(self):
+        cfg = MatrixConfig(
+            policies=("fcfs",), backfill=("off",), window_jobs=10
+        )
+        assert cfg.backfill == ("none",)
+
+
+class TestRunMatrix:
+    def test_cell_count_and_order(self, result):
+        assert len(result.cells) == result.n_windows * 4
+        # window-major enumeration: policies x backfill cycle fastest
+        head = [(c.window, c.policy, c.backfill) for c in result.cells[:5]]
+        assert head == [
+            (0, "FCFS", "none"),
+            (0, "FCFS", "easy"),
+            (0, "F1", "none"),
+            (0, "F1", "easy"),
+            (1, "FCFS", "none"),
+        ]
+
+    def test_shapes(self, result, config):
+        assert result.n_windows == 4
+        assert result.n_simulated == 16
+        assert result.n_cached == 0
+        for (p, b), s in result.summaries().items():
+            assert p in config.policies and b in config.backfill
+            assert s.n == result.n_windows
+
+    def test_samples_and_cell_lookup(self, result):
+        samples = result.samples("FCFS", "none")
+        assert len(samples) == result.n_windows
+        assert samples[2] == result.cell(2, "FCFS", "none").ave_bsld
+
+    def test_warmup_accounting(self, result):
+        for c in result.cells:
+            assert c.n_scored == c.n_jobs - 5
+
+    def test_paired_deltas_pair_within_mode(self, result):
+        deltas = result.paired_deltas("fcfs")
+        assert set(deltas) == {("F1", "none"), ("F1", "easy")}
+        np.testing.assert_allclose(
+            deltas[("F1", "none")],
+            result.samples("F1", "none") - result.samples("FCFS", "none"),
+        )
+
+    def test_paired_deltas_unknown_baseline(self, result):
+        with pytest.raises(ValueError, match="not part of this matrix"):
+            result.paired_deltas("spt")
+
+    def test_workers_bit_identical(self, trace, config, result):
+        fanned = run_matrix(trace, config, workers=4)
+        assert fanned.cells == result.cells
+
+    def test_chunk_size_bit_identical(self, trace, config, result):
+        chunked = run_matrix(trace, config, workers=2, chunk_size=3)
+        assert chunked.cells == result.cells
+
+    def test_oversized_job_fails_fast_with_name(self, trace, config):
+        import dataclasses
+
+        bad_sizes = trace.size.copy()
+        bad_sizes[17] = trace.nmax + 1
+        bad = dataclasses.replace(trace, size=bad_sizes)
+        with pytest.raises(ValueError, match=rf"job {int(bad.job_ids[17])} "):
+            run_matrix(bad, config)
+
+    def test_unknown_machine_size_rejected(self, trace, config):
+        anon = type(trace)(
+            submit=trace.submit,
+            runtime=trace.runtime,
+            size=trace.size,
+            estimate=trace.estimate,
+            job_ids=trace.job_ids,
+            nmax=0,
+        )
+        with pytest.raises(ValueError, match="machine size unknown"):
+            run_matrix(anon, config)
+
+    def test_explicit_nmax_overrides(self, trace):
+        cfg = MatrixConfig(
+            policies=("fcfs",), nmax=trace.nmax * 2, window_jobs=100
+        )
+        res = run_matrix(trace, cfg)
+        assert res.nmax == trace.nmax * 2
+
+
+class TestCache:
+    def test_second_run_simulates_nothing(self, trace, config, result, tmp_path):
+        first = run_matrix(trace, config, cache=tmp_path)
+        assert (first.n_simulated, first.n_cached) == (16, 0)
+        second = run_matrix(trace, config, workers=2, cache=tmp_path)
+        assert (second.n_simulated, second.n_cached) == (0, 16)
+        # cached results identical to fresh ones except the cached marker
+        for a, b in zip(first.cells, second.cells):
+            assert a.to_entry() == b.to_entry()
+            assert not a.cached and b.cached
+
+    def test_config_change_invalidates(self, trace, config, tmp_path):
+        run_matrix(trace, config, cache=tmp_path)
+        import dataclasses
+
+        other = dataclasses.replace(config, use_estimates=True)
+        res = run_matrix(trace, other, cache=tmp_path)
+        assert res.n_simulated == 16
+
+    def test_accepts_artifact_cache_instance(self, trace, config, tmp_path):
+        store = ArtifactCache(tmp_path)
+        run_matrix(trace, config, cache=store)
+        assert store.misses == 16
+        run_matrix(trace, config, cache=store)
+        assert store.hits == 16
+
+    def test_corrupt_entry_is_resimulated(self, trace, config, tmp_path):
+        store = ArtifactCache(tmp_path)
+        run_matrix(trace, config, cache=store)
+        victim = next(tmp_path.glob("eval-*.json"))
+        victim.write_text("{ not json", encoding="utf-8")
+        res = run_matrix(trace, config, cache=store)
+        assert res.n_simulated == 1
+        assert res.n_cached == 15
+
+
+class TestReport:
+    def test_csv_one_row_per_cell(self, result):
+        text = matrix_to_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("# trace=")
+        assert lines[1].startswith("window,policy,backfill")
+        assert len(lines) == 2 + len(result.cells)
+
+    def test_json_round_trip(self, result):
+        doc = json.loads(matrix_to_json(result))
+        assert doc["n_windows"] == result.n_windows
+        assert len(doc["cells"]) == len(result.cells)
+        assert doc["config"]["policies"] == ["FCFS", "F1"]
+        assert "FCFS/none" in doc["summaries"]
+
+    def test_render_mentions_all_series(self, result):
+        text = render_matrix_report(result)
+        assert "backfill=none" in text
+        assert "backfill=easy" in text
+        assert "paired Δ vs FCFS" in text
+        assert "simulated 16, cached 0" in text
+
+    def test_render_custom_baseline(self, result):
+        text = render_matrix_report(result, baseline="F1")
+        assert "paired Δ vs F1" in text
+
+    def test_render_baseline_spelling_canonicalised(self, result):
+        # the CLI's own default spelling is lowercase; it must not crash
+        assert render_matrix_report(result, baseline="fcfs") == render_matrix_report(
+            result, baseline="FCFS"
+        )
+
+    def test_write_matrix_report(self, result, tmp_path):
+        paths = write_matrix_report(tmp_path, result)
+        assert sorted(p.name for p in paths) == ["eval_matrix.csv", "eval_matrix.json"]
+        assert all(p.exists() for p in paths)
+
+    def test_write_all_wiring(self, result, tmp_path):
+        paths = write_all(tmp_path, matrix=result)
+        assert sorted(p.name for p in paths) == ["eval_matrix.csv", "eval_matrix.json"]

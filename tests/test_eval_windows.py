@@ -1,0 +1,127 @@
+"""Tests for repro.eval.windows (trace slicing invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.windows import Window, slice_windows, workload_fingerprint
+from repro.workloads.lublin import lublin_workload
+from repro.workloads.traces import synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_trace("ctc_sp2", n_jobs=230, seed=3)
+
+
+class TestJobWindows:
+    def test_partition_except_short_tail(self, trace):
+        ws = slice_windows(trace, jobs=50)
+        # 230 jobs -> 4 full windows + a 30-job tail window (>= min_jobs)
+        assert [w.n_jobs for w in ws] == [50, 50, 50, 50, 30]
+        covered = np.concatenate([w.workload.job_ids for w in ws])
+        assert len(covered) == len(trace)
+
+    def test_short_tail_dropped(self, trace):
+        ws = slice_windows(trace, jobs=50, min_jobs=40)
+        assert [w.n_jobs for w in ws] == [50, 50, 50, 50]
+
+    def test_windows_rebased_and_ordered(self, trace):
+        ws = slice_windows(trace, jobs=50)
+        for w in ws:
+            assert w.workload.submit[0] == 0.0
+        t0s = [w.t0 for w in ws]
+        assert t0s == sorted(t0s)
+        assert all(b > a for a, b in zip(t0s, t0s[1:]))
+
+    def test_windows_disjoint_in_trace_order(self, trace):
+        ws = slice_windows(trace, jobs=50)
+        ids = [set(w.workload.job_ids.tolist()) for w in ws]
+        for a in range(len(ids)):
+            for b in range(a + 1, len(ids)):
+                assert not (ids[a] & ids[b])
+
+    def test_warmup_trimming(self, trace):
+        ws = slice_windows(trace, jobs=50, warmup=10)
+        assert all(w.warmup == 10 for w in ws)
+        assert all(w.n_scored == w.n_jobs - 10 for w in ws)
+
+    def test_warmup_swallows_window(self, trace):
+        with pytest.raises(ValueError, match="leaves nothing after warmup"):
+            slice_windows(trace, jobs=8, warmup=8)
+
+    def test_max_windows_truncates(self, trace):
+        ws = slice_windows(trace, jobs=50, max_windows=2)
+        assert [w.index for w in ws] == [0, 1]
+
+    def test_naming(self, trace):
+        ws = slice_windows(trace, jobs=100)
+        assert ws[0].workload.name == f"{trace.name}[w0]"
+        assert ws[1].workload.name == f"{trace.name}[w1]"
+
+
+class TestTimeWindows:
+    def test_durations_respected(self, trace):
+        seconds = trace.span / 4 + 1.0
+        ws = slice_windows(trace, seconds=seconds)
+        assert len(ws) >= 2
+        for w in ws:
+            assert w.workload.span < seconds + 1e-9
+
+    def test_all_jobs_covered_when_dense(self):
+        wl = lublin_workload(400, nmax=64, seed=1)
+        ws = slice_windows(wl, seconds=wl.span / 3 + 1.0, min_jobs=1)
+        covered = sum(w.n_jobs for w in ws)
+        assert covered == len(wl)
+
+    def test_sparse_epochs_skipped(self):
+        # two dense bursts separated by a dead epoch
+        submit = np.concatenate([np.linspace(0, 10, 20), np.linspace(1000, 1010, 20)])
+        wl = lublin_workload(40, nmax=64, seed=2)
+        wl = type(wl)(
+            submit=submit,
+            runtime=wl.runtime,
+            size=wl.size,
+            estimate=wl.estimate,
+            job_ids=np.arange(40),
+            nmax=64,
+        )
+        ws = slice_windows(wl, seconds=100.0)
+        assert len(ws) == 2
+        assert all(w.n_jobs == 20 for w in ws)
+
+
+class TestValidation:
+    def test_exactly_one_axis(self, trace):
+        with pytest.raises(ValueError, match="exactly one"):
+            slice_windows(trace, jobs=10, seconds=100.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            slice_windows(trace)
+
+    def test_empty_workload_rejected(self, trace):
+        empty = trace.select(np.zeros(len(trace), dtype=bool))
+        with pytest.raises(ValueError, match="empty"):
+            slice_windows(empty, jobs=10)
+
+    def test_negative_warmup_rejected(self, trace):
+        with pytest.raises(ValueError, match="warmup"):
+            slice_windows(trace, jobs=10, warmup=-1)
+
+    def test_window_warmup_guard(self, trace):
+        ws = slice_windows(trace, jobs=50)
+        with pytest.raises(ValueError, match="no.*scored|leaves no"):
+            Window(index=0, workload=ws[0].workload, warmup=50, t0=0.0)
+
+
+class TestFingerprint:
+    def test_depends_only_on_arrays(self, trace):
+        renamed = trace.with_name("something else")
+        assert workload_fingerprint(trace) == workload_fingerprint(renamed)
+
+    def test_sensitive_to_content(self, trace):
+        bumped = trace.with_estimates(trace.estimate * 2.0)
+        assert workload_fingerprint(trace) != workload_fingerprint(bumped)
+
+    def test_window_fingerprint_includes_warmup(self, trace):
+        a = slice_windows(trace, jobs=50)[0]
+        b = slice_windows(trace, jobs=50, warmup=5)[0]
+        assert a.fingerprint() != b.fingerprint()

@@ -240,3 +240,33 @@ class TestCache:
         key = distribution_cache_key(SMALL)
         cache.path_for(key).write_bytes(junk)
         assert cache.load(key) is None
+
+
+class TestJsonEntries:
+    def test_round_trip_and_accounting(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.load_json("abc123") is None
+        assert cache.misses == 1
+        path = cache.store_json("abc123", {"x": 1, "nested": [1.5, "s"]})
+        assert path.exists()
+        assert cache.load_json("abc123") == {"x": 1, "nested": [1.5, "s"]}
+        assert cache.hits == 1
+
+    def test_keyspaces_do_not_collide(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store_json("samekey", {"kind": "json"})
+        # the npz keyspace with the same key is untouched
+        assert not cache.path_for("samekey").exists()
+        assert cache.json_path_for("samekey") != cache.path_for("samekey")
+
+    def test_invalid_key_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.store_json("../escape", {})
+
+    def test_corrupt_json_is_a_miss_then_replaced(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.json_path_for("k").write_text("{ torn", encoding="utf-8")
+        assert cache.load_json("k") is None
+        cache.store_json("k", [1, 2])
+        assert cache.load_json("k") == [1, 2]

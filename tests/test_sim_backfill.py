@@ -39,8 +39,11 @@ class TestShadowSchedule:
         with pytest.raises(ValueError, match="head fits now"):
             shadow_schedule(0.0, 4, 4, [10.0], [1])
 
-    def test_never_enough_cores_raises(self):
-        with pytest.raises(RuntimeError):
+    def test_never_enough_cores_raises_value_error(self):
+        # An unsatisfiable head is an input-validation failure, not an
+        # internal invariant violation: it points at the missing
+        # validate_for_machine call instead of dying mid-simulation.
+        with pytest.raises(ValueError, match="can ever become free"):
             shadow_schedule(0.0, 0, 8, [10.0], [2])
 
     def test_length_mismatch(self):

@@ -71,8 +71,8 @@ class TestBasics:
         out = starts([0.0, 0.0], [5.0, 5.0], [4, 4], [0, 0], 4)
         np.testing.assert_array_equal(out, [0.0, 5.0])
 
-    def test_oversized_job_rejected(self):
-        with pytest.raises(ValueError, match="larger than the machine"):
+    def test_oversized_job_rejected_with_job_named(self):
+        with pytest.raises(ValueError, match=r"job 0 needs 8 cores"):
             starts([0.0], [1.0], [8], [0], 4)
 
     def test_length_mismatch_rejected(self):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.sim.job import Workload
 from repro.workloads.lublin import lublin_workload
 from repro.workloads.swf import parse_swf_text, read_swf, write_swf
 
@@ -49,6 +50,41 @@ class TestParse:
         wl = parse_swf_text(text, keep_failed=False)
         assert set(wl.job_ids.tolist()) == {1}
 
+    def test_dropped_and_filtered_reported_separately(self):
+        # job 2's status becomes 0 (failed): a *schedulable* row removed
+        # by deliberate filtering, not an unschedulable one.
+        text = SAMPLE.replace("2 10 0 50 2 -1 -1 -1 -1 -1 1", "2 10 0 50 2 -1 -1 -1 -1 -1 0")
+        wl = parse_swf_text(text, keep_failed=False)
+        assert wl.extra["dropped"] == 2  # jobs 3 and 4: unschedulable rows
+        assert wl.extra["filtered"] == 1  # job 2: status-filtered
+
+    def test_keep_failed_true_filters_nothing(self):
+        wl = parse_swf_text(SAMPLE, keep_failed=True)
+        assert wl.extra["filtered"] == 0
+        assert wl.extra["dropped"] == 2
+
+    def test_minus_one_markers_in_request_fields(self):
+        # field 8 (req procs) = -1 -> size falls back to field 5;
+        # field 9 (req time) = -1 -> estimate falls back to runtime.
+        wl = parse_swf_text("9 0 0 120 6 -1 -1 -1 -1 -1 1\n")
+        assert wl.size[0] == 6
+        assert wl.estimate[0] == 120.0
+
+    def test_eleven_field_line_padded(self):
+        # the PWA allows truncated lines; missing trailing fields read -1
+        wl = parse_swf_text("5 3 0 60 2 -1 -1 4 600 -1 1\n")
+        assert len(wl) == 1
+        assert wl.size[0] == 4
+        assert wl.estimate[0] == 600.0
+
+    def test_maxprocs_header_parsed(self):
+        wl = parse_swf_text("; MaxProcs: 4096\n1 0 0 10 1 -1 -1 1 10 -1 1\n")
+        assert wl.nmax == 4096
+
+    def test_maxnodes_fallback_and_bad_maxprocs(self):
+        text = "; MaxProcs: unknown\n; MaxNodes: 64\n1 0 0 10 1 -1 -1 1 10 -1 1\n"
+        assert parse_swf_text(text).nmax == 64
+
     def test_short_line_rejected(self):
         with pytest.raises(ValueError, match="expected >= 11"):
             parse_swf_text("1 2 3\n")
@@ -78,6 +114,31 @@ class TestWrite:
         np.testing.assert_allclose(back.runtime, wl.runtime, atol=0.01)
         np.testing.assert_array_equal(back.size, wl.size)
         np.testing.assert_allclose(back.estimate, wl.estimate, atol=0.01)
+
+    def test_fractional_values_round_trip_exactly(self):
+        """Fractional submit/runtime must survive a write/read cycle bit
+        for bit — regression for the old 2-decimal truncation."""
+        wl = Workload.from_arrays(
+            submit=[0.0, 10.123456789012345, 20.000000953674316],
+            runtime=[1.5, 7.0 / 3.0, 100.25],
+            size=[1, 2, 4],
+            estimate=[2.75, 2.5000001, 101.0],
+            nmax=8,
+        )
+        back = parse_swf_text(write_swf(wl))
+        np.testing.assert_array_equal(back.submit, wl.submit)
+        np.testing.assert_array_equal(back.runtime, wl.runtime)
+        np.testing.assert_array_equal(back.estimate, wl.estimate)
+        np.testing.assert_array_equal(back.size, wl.size)
+
+    def test_lublin_round_trip_exact(self, tmp_path):
+        wl = lublin_workload(50, nmax=64, seed=9)
+        path = tmp_path / "out.swf"
+        write_swf(wl, path)
+        back = read_swf(path)
+        np.testing.assert_array_equal(back.submit, wl.submit)
+        np.testing.assert_array_equal(back.runtime, wl.runtime)
+        np.testing.assert_array_equal(back.estimate, wl.estimate)
 
     def test_custom_header(self):
         wl = lublin_workload(3, seed=0)
