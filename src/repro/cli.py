@@ -26,6 +26,7 @@ from repro.eval import (
     MatrixConfig,
     render_matrix_report,
     run_matrix,
+    stream_windows,
     write_matrix_report,
 )
 from repro.core.regression import RegressionConfig
@@ -40,7 +41,7 @@ from repro.experiments.scale import SCALES, current_scale, current_workers, get_
 from repro.experiments.table4 import row_ids, run_row, run_rows
 from repro.runtime import resolve_workers
 from repro.policies.registry import available_policies, get_policy
-from repro.workloads.swf import read_swf, write_swf
+from repro.workloads.swf import SwfStream, read_swf, write_swf
 from repro.workloads.traces import synthetic_trace, trace_names
 
 
@@ -70,6 +71,28 @@ def _cache_dir_type(value: str) -> str:
     if os.path.exists(value) and not os.path.isdir(value):
         raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
     return value
+
+
+def _bootstrap_type(value: str) -> int:
+    try:
+        n_boot = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}") from None
+    if n_boot < 0:
+        raise argparse.ArgumentTypeError(f"--bootstrap must be >= 0, got {value}")
+    return n_boot
+
+
+def _ci_level_type(value: str) -> float:
+    try:
+        level = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {value!r}") from None
+    if not 0.0 < level < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"--ci must be a coverage level in (0, 1), got {value}"
+        )
+    return level
 
 
 def _add_workers_arg(p: argparse.ArgumentParser) -> None:
@@ -148,15 +171,6 @@ def _split_csv(value: str) -> list[str]:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    if args.trace:
-        wl = read_swf(args.trace, keep_failed=not args.drop_failed)
-    else:
-        wl = synthetic_trace(args.synthetic, seed=args.seed, n_jobs=args.jobs)
-        print(
-            f"no --trace given: using synthetic stand-in {wl.name!r}"
-            f" ({len(wl)} jobs)",
-            file=sys.stderr,
-        )
     window_jobs = args.window_jobs
     if window_jobs is None and args.window_seconds is None:
         window_jobs = 5000
@@ -175,24 +189,91 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"repro-sched evaluate: {exc}") from None
 
-    def progress(stage: str, done: int, total: int) -> None:
-        if done == total or done % max(total // 10, 1) == 0:
-            print(f"  [{stage}] {done}/{total}", file=sys.stderr)
+    trace_name = None
+    if args.trace and args.stream:
+        # Lazy replay: the trace file is parsed incrementally and windows
+        # are sliced as jobs stream past — it is never resident in full.
+        stream = SwfStream(args.trace, keep_failed=not args.drop_failed)
+        trace_name = stream.name
+        source = stream_windows(
+            stream.jobs(),
+            jobs=config.window_jobs,
+            seconds=config.window_seconds,
+            warmup=config.warmup,
+            max_windows=config.max_windows,
+            name=stream.name,
+            # the *effective* machine size, so per-job validation in the
+            # stream matches what the matrix will simulate against
+            nmax=args.nmax or stream.machine_size,
+        )
+    else:
+        if args.trace:
+            wl = read_swf(args.trace, keep_failed=not args.drop_failed)
+        else:
+            wl = synthetic_trace(args.synthetic, seed=args.seed, n_jobs=args.jobs)
+            print(
+                f"no --trace given: using synthetic stand-in {wl.name!r}"
+                f" ({len(wl)} jobs)",
+                file=sys.stderr,
+            )
+        if args.stream:
+            # Synthetic stand-ins are generated in memory; --stream still
+            # exercises the lazy windowing + batched dispatch path.
+            source = stream_windows(
+                wl,
+                jobs=config.window_jobs,
+                seconds=config.window_seconds,
+                warmup=config.warmup,
+                max_windows=config.max_windows,
+            )
+            trace_name = wl.name
+        else:
+            source = wl
+
+    if args.stream:
+        # Streamed dispatch calls the pool once per batch, each with its
+        # own local total; report a cumulative count per batch instead of
+        # ten ticks of every (small) batch.
+        done_cells = 0
+
+        def progress(stage: str, done: int, total: int) -> None:
+            nonlocal done_cells
+            if done == total:
+                done_cells += total
+                print(f"  [{stage}] {done_cells} simulated", file=sys.stderr)
+
+    else:
+
+        def progress(stage: str, done: int, total: int) -> None:
+            if done == total or done % max(total // 10, 1) == 0:
+                print(f"  [{stage}] {done}/{total}", file=sys.stderr)
 
     try:
         result = run_matrix(
-            wl,
+            source,
             config,
             workers=_workers_from(args),
             cache=args.cache,
             progress=progress,
+            trace_name=trace_name,
         )
-        report = render_matrix_report(result, baseline=args.baseline)
+        report = render_matrix_report(
+            result,
+            baseline=args.baseline,
+            n_boot=args.bootstrap,
+            level=args.ci,
+        )
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"repro-sched evaluate: {exc}") from None
     print(report)
     if args.output_dir:
-        paths = write_matrix_report(args.output_dir, result)
+        paths = write_matrix_report(
+            args.output_dir,
+            result,
+            baseline=args.baseline,
+            n_boot=args.bootstrap,
+            level=args.ci,
+        )
         print(f"wrote {len(paths)} report file(s) to {args.output_dir}")
     return 0
 
@@ -371,6 +452,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--drop-failed",
         action="store_true",
         help="exclude failed/cancelled SWF rows (status 0/5)",
+    )
+    p.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="slice windows lazily from the trace and dispatch cells as"
+        " they arrive (O(window) memory; results are bit-identical to"
+        " --no-stream)",
+    )
+    p.add_argument(
+        "--bootstrap",
+        type=_bootstrap_type,
+        default=1000,
+        metavar="N",
+        help="bootstrap resamples behind the paired-delta confidence"
+        " intervals (default 1000; 0 disables the intervals)",
+    )
+    p.add_argument(
+        "--ci",
+        type=_ci_level_type,
+        default=0.95,
+        metavar="LEVEL",
+        help="nominal coverage of the bootstrap intervals (default 0.95)",
     )
     p.add_argument(
         "--policies",

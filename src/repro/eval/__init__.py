@@ -4,16 +4,22 @@ Turns a workload trace (SWF from the Parallel Workloads Archive, or a
 synthetic stand-in) into many independent evaluation scenarios and
 benchmarks scheduling policies across them at worker-pool speed:
 
-* :mod:`repro.eval.windows` — streaming window slicing: contiguous
-  windows of N jobs or T seconds, warm-up trimming, per-window clock
-  re-basing.
+* :mod:`repro.eval.windows` — window slicing: contiguous windows of N
+  jobs or T seconds, warm-up trimming, per-window clock re-basing —
+  batch (:func:`slice_windows`) or lazily from a job stream
+  (:func:`stream_windows`), with identical content fingerprints either
+  way.
 * :mod:`repro.eval.matrix` — the {policies × backfill × windows} matrix
-  runner over :class:`repro.runtime.TrialRunner`, with per-cell
-  content-addressed cache keys: re-running an unchanged config is free.
+  runner over :class:`repro.runtime.TrialRunner`: **bit-identical for
+  any worker count, chunk size, and window path (streamed or
+  materialised)**, with per-cell content-addressed cache keys so
+  re-running an unchanged config simulates nothing.
 * :mod:`repro.eval.report` — per-series summaries, paired per-window
-  policy deltas, CSV/JSON export and a terminal report.
+  policy deltas with seeded percentile-bootstrap confidence intervals,
+  CSV/JSON export and a terminal report.
 
-The CLI front-end is ``repro-sched evaluate``.
+The CLI front-end is ``repro-sched evaluate`` (``--stream`` for lazy
+trace replay, ``--bootstrap``/``--ci`` for the interval settings).
 """
 
 from repro.eval.matrix import (
@@ -24,12 +30,18 @@ from repro.eval.matrix import (
     run_matrix,
 )
 from repro.eval.report import (
+    deltas_to_csv,
     matrix_to_csv,
     matrix_to_json,
     render_matrix_report,
     write_matrix_report,
 )
-from repro.eval.windows import Window, slice_windows, workload_fingerprint
+from repro.eval.windows import (
+    Window,
+    slice_windows,
+    stream_windows,
+    workload_fingerprint,
+)
 
 __all__ = [
     "BACKFILL_TOKENS",
@@ -37,11 +49,13 @@ __all__ = [
     "MatrixConfig",
     "MatrixResult",
     "Window",
+    "deltas_to_csv",
     "matrix_to_csv",
     "matrix_to_json",
     "render_matrix_report",
     "run_matrix",
     "slice_windows",
+    "stream_windows",
     "workload_fingerprint",
     "write_matrix_report",
 ]

@@ -19,10 +19,21 @@ carry over from the runtime:
 * **fail-fast validation** — the workload is validated against the
   machine size on entry (:meth:`Workload.validate_for_machine`), naming
   the offending job instead of dying mid-simulation.
+
+:func:`run_matrix` accepts either a materialised
+:class:`~repro.sim.job.Workload` (sliced here, all cells dispatched in
+one batch) or an *iterable of windows* (e.g.
+:func:`repro.eval.windows.stream_windows`): cells are then dispatched in
+bounded batches as windows arrive, so an archive-scale trace is never
+resident in full — and because cells are pure functions with
+index-derived seeds and slicer-independent cache keys, the two paths
+produce bit-identical results for any ``workers`` / ``chunk_size``.
 """
 
 from __future__ import annotations
 
+import re
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
 from functools import cached_property
 
@@ -35,8 +46,8 @@ from repro.runtime.progress import ProgressCallback
 from repro.sim.engine import normalize_backfill, simulate
 from repro.sim.job import Workload
 from repro.sim.metrics import DEFAULT_TAU
-from repro.util.rng import spawn_seed_sequences
-from repro.util.stats import Summary, summarize
+from repro.util.rng import RngFactory, spawn_seed_sequences
+from repro.util.stats import BootstrapCI, Summary, bootstrap_mean_ci, summarize
 from repro.util.validation import check_positive, check_positive_int
 
 __all__ = [
@@ -277,6 +288,50 @@ class MatrixResult:
             for b in self.config.backfill
         }
 
+    @cached_property
+    def _delta_ci_memo(self) -> dict:
+        # delta_cis is deterministic in (baseline, n_boot, level); the CLI
+        # renders terminal + JSON + CSV from one result, so memoising here
+        # avoids re-running the bootstrap once per report format.
+        return {}
+
+    def delta_cis(
+        self,
+        baseline: str | None = None,
+        *,
+        n_boot: int = 1000,
+        level: float = 0.95,
+    ) -> dict[tuple[str, str], BootstrapCI]:
+        """Paired percentile-bootstrap CIs on the per-window deltas.
+
+        One :class:`~repro.util.stats.BootstrapCI` per
+        :meth:`paired_deltas` series: the mean per-window
+        ``AVEbsld(policy) - AVEbsld(baseline)`` with a *level* interval
+        from *n_boot* vectorised resamples.  Each series draws from its
+        own named stream of the config seed
+        (``bootstrap:<policy>/<backfill>:<baseline>`` via
+        :class:`~repro.util.rng.RngFactory`), so intervals are
+        reproducible for a fixed seed and independent of how many other
+        series exist or in which order they are computed.  A
+        single-window matrix yields point estimates with undefined
+        (NaN-bounded) intervals instead of failing; ``n_boot=0``
+        disables resampling the same way.
+        """
+        base = get_policy(baseline).name if baseline else self.config.policies[0]
+        memo_key = (base, n_boot, level)
+        if memo_key not in self._delta_ci_memo:
+            factory = RngFactory(self.config.seed)
+            self._delta_ci_memo[memo_key] = {
+                (p, b): bootstrap_mean_ci(
+                    deltas,
+                    n_boot=n_boot,
+                    level=level,
+                    seed=factory.get(f"bootstrap:{p}/{b}:{base}"),
+                )
+                for (p, b), deltas in self.paired_deltas(base).items()
+            }
+        return self._delta_ci_memo[memo_key]
+
     def best(self, backfill: str | None = None) -> str:
         """Policy with the lowest median AVEbsld (optionally one mode)."""
         modes = (
@@ -308,28 +363,64 @@ def _cell_key(window: Window, config: MatrixConfig, nmax: int, policy: str, back
     )
 
 
+_WINDOW_SUFFIX = re.compile(r"\[w\d+\]$")
+
+
+def _coerce_cache(cache: str | ArtifactCache | None) -> ArtifactCache | None:
+    if cache is None or isinstance(cache, ArtifactCache):
+        return cache
+    return ArtifactCache(cache)
+
+
+def _resolve_nmax(config: MatrixConfig, workload_nmax: int) -> int:
+    nmax = config.nmax or workload_nmax
+    if nmax < 1:
+        raise ValueError(
+            "machine size unknown: set MatrixConfig.nmax or use a workload"
+            " that carries one (SWF header MaxProcs)"
+        )
+    return nmax
+
+
 def run_matrix(
-    workload: Workload,
+    source: Workload | Iterable[Window],
     config: MatrixConfig,
     *,
     workers: int | str = 1,
     chunk_size: int | None = None,
     cache: str | ArtifactCache | None = None,
     progress: ProgressCallback | None = None,
+    trace_name: str | None = None,
 ) -> MatrixResult:
-    """Evaluate *workload* over the full policy × backfill × window matrix.
+    """Evaluate *source* over the full policy × backfill × window matrix.
 
-    Window slicing happens here so every cell of a window sees the
-    identical job stream (paired comparisons).  With *cache*, cells
-    already present are loaded instead of simulated and fresh cells are
-    stored; only cache-missing cells are dispatched to the pool.
+    *source* is either a materialised :class:`~repro.sim.job.Workload`
+    (window slicing happens here, so every cell of a window sees the
+    identical job stream) or an iterable of
+    :class:`~repro.eval.windows.Window` — typically
+    :func:`~repro.eval.windows.stream_windows` — in which case cells are
+    dispatched in bounded batches *as windows arrive* and the trace is
+    never fully resident; *trace_name* labels the result (default: the
+    window names with their ``[w<k>]`` suffix stripped).
+
+    Both paths are bit-identical to each other and across any
+    ``workers`` / ``chunk_size``.  With *cache*, cells already present
+    are loaded instead of simulated and fresh cells are stored; only
+    cache-missing cells reach the pool, so a fully cached streaming
+    re-run simulates nothing and holds no more than one window at once.
     """
-    nmax = config.nmax or workload.nmax
-    if nmax < 1:
-        raise ValueError(
-            "machine size unknown: set MatrixConfig.nmax or use a workload"
-            " that carries one (SWF header MaxProcs)"
+    if not isinstance(source, Workload):
+        return _run_matrix_streaming(
+            iter(source),
+            config,
+            workers=workers,
+            chunk_size=chunk_size,
+            cache=cache,
+            progress=progress,
+            trace_name=trace_name,
         )
+    workload = source
+    nmax = _resolve_nmax(config, workload.nmax)
     workload.validate_for_machine(nmax)
     windows = slice_windows(
         workload,
@@ -357,11 +448,7 @@ def run_matrix(
         for seq in spawn_seed_sequences(config.seed, len(axes))
     ]
 
-    store = (
-        cache
-        if cache is None or isinstance(cache, ArtifactCache)
-        else ArtifactCache(cache)
-    )
+    store = _coerce_cache(cache)
 
     slots: list[CellResult | None] = [None] * len(axes)
     keys: list[str | None] = [None] * len(axes)
@@ -381,20 +468,7 @@ def run_matrix(
 
     if todo:
         tasks = [
-            _CellTask(
-                window=axes[k][0].index,
-                policy=axes[k][1],
-                backfill=axes[k][2],
-                submit=axes[k][0].workload.submit,
-                runtime=axes[k][0].workload.runtime,
-                size=axes[k][0].workload.size,
-                estimate=axes[k][0].workload.estimate,
-                nmax=nmax,
-                use_estimates=config.use_estimates,
-                tau=config.tau,
-                warmup=axes[k][0].warmup,
-                seed=seeds[k],
-            )
+            _cell_task_for(axes[k][0], axes[k][1], axes[k][2], config, nmax, seeds[k])
             for k in todo
         ]
         runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
@@ -406,10 +480,136 @@ def run_matrix(
 
     return MatrixResult(
         config=config,
-        trace_name=workload.name,
+        trace_name=trace_name if trace_name is not None else workload.name,
         nmax=nmax,
         n_windows=len(windows),
         cells=tuple(slots),  # type: ignore[arg-type]
         n_simulated=len(todo),
         n_cached=len(axes) - len(todo),
+    )
+
+
+def _cell_task_for(
+    window: Window,
+    policy: str,
+    backfill: str,
+    config: MatrixConfig,
+    nmax: int,
+    seed: int,
+) -> _CellTask:
+    return _CellTask(
+        window=window.index,
+        policy=policy,
+        backfill=backfill,
+        submit=window.workload.submit,
+        runtime=window.workload.runtime,
+        size=window.workload.size,
+        estimate=window.workload.estimate,
+        nmax=nmax,
+        use_estimates=config.use_estimates,
+        tau=config.tau,
+        warmup=window.warmup,
+        seed=seed,
+    )
+
+
+def _run_matrix_streaming(
+    windows: Iterable[Window],
+    config: MatrixConfig,
+    *,
+    workers: int | str,
+    chunk_size: int | None,
+    cache: str | ArtifactCache | None,
+    progress: ProgressCallback | None,
+    trace_name: str | None,
+) -> MatrixResult:
+    """Dispatch matrix cells as windows arrive from a lazy slicer.
+
+    Bit-identical to the materialised path: cell ``k`` (window-major
+    enumeration) draws child ``k`` of the config seed via incremental
+    ``SeedSequence.spawn`` — spawning one child at a time yields exactly
+    the children a single batched spawn would — cache keys fingerprint
+    window content, and cells are pure functions, so neither batching
+    nor worker count can change a result.  Memory is bounded by the
+    dispatch batch (a few windows' arrays); cache hits are resolved
+    immediately and buffer nothing, so a fully cached re-run holds one
+    window at a time and simulates zero cells.
+    """
+    store = _coerce_cache(cache)
+    runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
+    # Children of the config seed, spawned on demand in cell order.
+    seed_root = np.random.SeedSequence(config.seed)
+    cells: list[CellResult | None] = []
+    # (slot, task, cache key) triples awaiting dispatch.
+    pending: list[tuple[int, _CellTask, str | None]] = []
+    # Each flush pays a pool spin-up (TrialRunner.map opens a fresh
+    # ProcessPoolExecutor per call), so batches are sized to amortise it:
+    # large enough that worker startup is noise, small enough to bound
+    # memory at a few hundred windows' arrays.  Cannot affect results.
+    dispatch_batch = max(256, 32 * runner.config.n_workers * (chunk_size or 1))
+    n_windows = 0
+    n_simulated = 0
+    nmax = 0
+    name = trace_name
+
+    def flush() -> None:
+        nonlocal n_simulated
+        if not pending:
+            return
+        fresh = runner.map(
+            _simulate_cell,
+            [task for _, task, _ in pending],
+            progress=progress,
+            phase="cells",
+        )
+        for (slot, _, key), cell in zip(pending, fresh):
+            cells[slot] = cell
+            if store is not None and key is not None:
+                store.store_json(key, cell.to_entry())
+        n_simulated += len(pending)
+        pending.clear()
+
+    for window in windows:
+        if n_windows == 0:
+            nmax = _resolve_nmax(config, window.workload.nmax)
+            if name is None:
+                name = _WINDOW_SUFFIX.sub("", window.workload.name)
+        window.workload.validate_for_machine(nmax)
+        n_windows += 1
+        for policy in config.policies:
+            for backfill in config.backfill:
+                (child,) = seed_root.spawn(1)
+                seed = int(child.generate_state(1, np.uint64)[0])
+                key = None
+                if store is not None:
+                    key = _cell_key(window, config, nmax, policy, backfill)
+                    entry = store.load_json(key)
+                    hit = CellResult.from_entry(entry) if entry is not None else None
+                    if hit is not None:
+                        cells.append(replace(hit, window=window.index, seed=seed))
+                        continue
+                cells.append(None)
+                pending.append(
+                    (
+                        len(cells) - 1,
+                        _cell_task_for(window, policy, backfill, config, nmax, seed),
+                        key,
+                    )
+                )
+        if len(pending) >= dispatch_batch:
+            flush()
+    flush()
+    if n_windows == 0:
+        raise ValueError(
+            "no evaluation windows survived slicing; enlarge the window or"
+            " lower warmup"
+        )
+    return MatrixResult(
+        config=config,
+        trace_name=name if name is not None else "stream",
+        nmax=nmax,
+        n_windows=n_windows,
+        cells=tuple(cells),  # type: ignore[arg-type]
+        n_simulated=n_simulated,
+        n_cached=len(cells) - n_simulated,
     )

@@ -1,15 +1,26 @@
 """Aggregation and reporting of evaluation-matrix results.
 
-Per-cell metrics become three artifacts:
+Per-cell metrics become four artifacts:
 
 * a long-format CSV (one row per cell — the raw material for any
   plotting tool),
-* a JSON document (config + cells + per-series summaries, for
-  programmatic consumers),
+* a paired-deltas CSV (one row per non-baseline series, with
+  ``delta_ci_low``/``delta_ci_high`` bootstrap bounds and a significance
+  column),
+* a JSON document (config + cells + per-series summaries + bootstrap
+  deltas, for programmatic consumers),
 * a terminal report: per backfill mode, one table of per-policy
   AVEbsld statistics over windows plus *paired* per-window deltas
   against a baseline policy (both series of a pair saw the identical
-  job stream, so the delta isolates the policy decision).
+  job stream, so the delta isolates the policy decision), each with
+  its bootstrap confidence interval and a ``*`` significance marker.
+
+Every statistic here is a deterministic function of the matrix result:
+the bootstrap intervals are seeded from the matrix config's seed
+(:meth:`~repro.eval.matrix.MatrixResult.delta_cis`), so reports are
+bit-identical across re-runs, worker counts and the streamed/
+materialised window paths.  A series with a single window degenerates
+gracefully: the point estimate is reported with its CI marked n/a.
 
 The CSV/JSON writers are wired into :func:`repro.experiments.export.write_all`
 alongside the figure exporters.
@@ -19,19 +30,34 @@ from __future__ import annotations
 
 import io
 import json
+import math
 from pathlib import Path
 
 import numpy as np
 
 from repro.eval.matrix import MatrixResult
 from repro.policies.registry import get_policy
+from repro.util.stats import BootstrapCI
 
 __all__ = [
+    "deltas_to_csv",
     "matrix_to_csv",
     "matrix_to_json",
     "render_matrix_report",
     "write_matrix_report",
 ]
+
+
+def _finite_or_none(value: float) -> float | None:
+    """NaN-free JSON representation of a possibly-undefined CI bound."""
+    return value if math.isfinite(value) else None
+
+
+def _significance_token(ci: BootstrapCI) -> str:
+    """CSV/terminal spelling of the three-valued significance."""
+    if ci.significant is None:
+        return "n/a"
+    return "yes" if ci.significant else "no"
 
 
 def matrix_to_csv(result: MatrixResult) -> str:
@@ -56,8 +82,53 @@ def matrix_to_csv(result: MatrixResult) -> str:
     return buf.getvalue()
 
 
-def matrix_to_json(result: MatrixResult) -> str:
-    """Config + cells + per-series summaries as one JSON document."""
+def deltas_to_csv(
+    result: MatrixResult,
+    *,
+    baseline: str | None = None,
+    n_boot: int = 1000,
+    level: float = 0.95,
+) -> str:
+    """Per-series paired deltas vs *baseline*, with bootstrap CI columns.
+
+    One row per (policy, backfill) series other than the baseline:
+    sample statistics of the per-window deltas plus
+    ``delta_ci_low``/``delta_ci_high`` (empty-valued ``nan`` when the
+    series has a single window) and a ``significant`` column
+    (``yes``/``no``/``n/a``).  Negative deltas mean the policy beat the
+    baseline.
+    """
+    cfg = result.config
+    base = get_policy(baseline).name if baseline else cfg.policies[0]
+    cis = result.delta_cis(base, n_boot=n_boot, level=level)
+    deltas = result.paired_deltas(base)
+    buf = io.StringIO()
+    buf.write(
+        f"# trace={result.trace_name} baseline={base}"
+        f" bootstrap={n_boot} level={level:g} seed={cfg.seed}\n"
+    )
+    buf.write(
+        "policy,backfill,baseline,n_windows,median_delta,mean_delta,"
+        "delta_ci_low,delta_ci_high,significant,wins\n"
+    )
+    for (p, b), ci in cis.items():
+        d = deltas[(p, b)]
+        buf.write(
+            f"{p},{b},{base},{ci.n},{float(np.median(d)):.10g},"
+            f"{ci.point:.10g},{ci.lo:.10g},{ci.hi:.10g},"
+            f"{_significance_token(ci)},{int((d < 0).sum())}\n"
+        )
+    return buf.getvalue()
+
+
+def matrix_to_json(
+    result: MatrixResult,
+    *,
+    baseline: str | None = None,
+    n_boot: int = 1000,
+    level: float = 0.95,
+) -> str:
+    """Config + cells + per-series summaries + bootstrap deltas as JSON."""
     cfg = result.config
     summaries = {
         f"{p}/{b}": {
@@ -70,6 +141,21 @@ def matrix_to_json(result: MatrixResult) -> str:
         }
         for (p, b), s in result.summaries().items()
     }
+    base = get_policy(baseline).name if baseline else cfg.policies[0]
+    delta_doc = {}
+    if len(cfg.policies) > 1:
+        delta_samples = result.paired_deltas(base)
+        for (p, b), ci in result.delta_cis(base, n_boot=n_boot, level=level).items():
+            d = delta_samples[(p, b)]
+            delta_doc[f"{p}/{b}"] = {
+                "n": ci.n,
+                "median": float(np.median(d)),
+                "mean": ci.point,
+                "delta_ci_low": _finite_or_none(ci.lo),
+                "delta_ci_high": _finite_or_none(ci.hi),
+                "significant": ci.significant,
+                "wins": int((d < 0).sum()),
+            }
     doc = {
         "trace": result.trace_name,
         "nmax": result.nmax,
@@ -87,23 +173,40 @@ def matrix_to_json(result: MatrixResult) -> str:
             "max_windows": cfg.max_windows,
             "seed": cfg.seed,
         },
+        "bootstrap": {"baseline": base, "n_boot": n_boot, "level": level},
+        "deltas": delta_doc,
         "summaries": summaries,
         "cells": [c.to_entry() for c in result.cells],
     }
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
-def render_matrix_report(result: MatrixResult, *, baseline: str | None = None) -> str:
-    """Terminal report: per-mode policy tables + paired deltas.
+def render_matrix_report(
+    result: MatrixResult,
+    *,
+    baseline: str | None = None,
+    n_boot: int = 1000,
+    level: float = 0.95,
+) -> str:
+    """Terminal report: per-mode policy tables + paired deltas with CIs.
 
     *baseline* (default: the matrix's first policy) anchors the delta
     block; negative deltas mean the policy beat the baseline in that
-    window.
+    window.  Each delta line carries its percentile-bootstrap interval
+    (*n_boot* resamples at coverage *level*, seeded from the config) and
+    a ``*`` marker when the interval excludes zero; a single-window
+    series prints its point estimate with ``CI n/a`` instead of
+    crashing on the degenerate spread.
     """
     cfg = result.config
     base = get_policy(baseline).name if baseline else cfg.policies[0]
     summaries = result.summaries()
     deltas = result.paired_deltas(base) if len(cfg.policies) > 1 else {}
+    cis = (
+        result.delta_cis(base, n_boot=n_boot, level=level)
+        if len(cfg.policies) > 1
+        else {}
+    )
 
     lines = [
         f"Evaluation matrix for {result.trace_name}"
@@ -131,15 +234,27 @@ def render_matrix_report(result: MatrixResult, *, baseline: str | None = None) -
         )
         lines.append(util)
         if deltas:
-            lines.append(f"paired Δ vs {base} (negative = better), per window:")
+            lines.append(
+                f"paired Δ vs {base} (negative = better),"
+                f" {level:.0%} bootstrap CI (* = excludes 0):"
+            )
             for p in cfg.policies:
                 if p == base:
                     continue
                 d = deltas[(p, mode)]
+                ci = cis[(p, mode)]
                 wins = int((d < 0).sum())
+                if ci.defined:
+                    ci_text = (
+                        f"CI [{ci.lo:+.2f}, {ci.hi:+.2f}]"
+                        f"{'*' if ci.significant else ' '}"
+                    )
+                else:
+                    ci_text = f"CI n/a ({ci.n} window{'s' if ci.n != 1 else ''})"
                 lines.append(
                     f"  {p:<8s} median Δ={float(np.median(d)):+.2f}"
-                    f"  mean Δ={float(d.mean()):+.2f}"
+                    f"  mean Δ={ci.point:+.2f}"
+                    f"  {ci_text}"
                     f"  wins {wins}/{len(d)}"
                 )
     lines.append(
@@ -149,14 +264,35 @@ def render_matrix_report(result: MatrixResult, *, baseline: str | None = None) -
 
 
 def write_matrix_report(
-    directory: str | Path, result: MatrixResult, *, stem: str = "eval_matrix"
+    directory: str | Path,
+    result: MatrixResult,
+    *,
+    stem: str = "eval_matrix",
+    baseline: str | None = None,
+    n_boot: int = 1000,
+    level: float = 0.95,
 ) -> list[Path]:
-    """Write ``<stem>.csv`` and ``<stem>.json`` into *directory*."""
+    """Write ``<stem>.csv``, ``<stem>.json`` (and, for matrices with more
+    than one policy, ``<stem>_deltas.csv``) into *directory*."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    artifacts = [
+        (f"{stem}.csv", matrix_to_csv(result)),
+        (
+            f"{stem}.json",
+            matrix_to_json(result, baseline=baseline, n_boot=n_boot, level=level),
+        ),
+    ]
+    if len(result.config.policies) > 1:
+        artifacts.append(
+            (
+                f"{stem}_deltas.csv",
+                deltas_to_csv(result, baseline=baseline, n_boot=n_boot, level=level),
+            )
+        )
     paths = []
-    for suffix, text in ((".csv", matrix_to_csv(result)), (".json", matrix_to_json(result))):
-        path = directory / f"{stem}{suffix}"
+    for name, text in artifacts:
+        path = directory / name
         path.write_text(text, encoding="utf-8")
         paths.append(path)
     return paths

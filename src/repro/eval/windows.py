@@ -17,7 +17,18 @@ of which becomes an independent evaluation scenario:
   becomes many small scenarios streamed through the worker pool instead
   of one unshardable run.
 
-Slicing is a pure function of ``(workload, parameters)`` — no RNG, no
+Two slicers share these semantics:
+
+* :func:`slice_windows` — batch: cut a fully materialised
+  :class:`~repro.sim.job.Workload`;
+* :func:`stream_windows` — lazy: the same windows from a job *iterator*
+  (e.g. :meth:`repro.workloads.swf.SwfStream.jobs`), holding at most one
+  window's jobs in memory at a time.  Content fingerprints are computed
+  on the fly and are **identical** to the batch slicer's for the same
+  submit-sorted trace, so per-cell cache keys do not depend on which
+  slicer produced a window.
+
+Slicing is a pure function of ``(trace, parameters)`` — no RNG, no
 clock — so the same trace always yields the same windows and per-window
 results are cacheable by content (:func:`workload_fingerprint`).
 """
@@ -25,6 +36,7 @@ results are cacheable by content (:func:`workload_fingerprint`).
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,7 +44,7 @@ import numpy as np
 from repro.sim.job import Workload
 from repro.util.validation import check_positive, check_positive_int
 
-__all__ = ["Window", "slice_windows", "workload_fingerprint"]
+__all__ = ["Window", "slice_windows", "stream_windows", "workload_fingerprint"]
 
 
 def workload_fingerprint(workload: Workload) -> str:
@@ -90,6 +102,31 @@ class Window:
         ).hexdigest()[:32]
 
 
+def _check_slicing_args(
+    jobs: int | None,
+    seconds: float | None,
+    warmup: int,
+    min_jobs: int,
+    max_windows: int | None,
+) -> None:
+    """Shared parameter validation for both slicers (identical errors)."""
+    if (jobs is None) == (seconds is None):
+        raise ValueError("pass exactly one of jobs= or seconds=")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    check_positive_int("min_jobs", min_jobs)
+    if max_windows is not None:
+        check_positive_int("max_windows", max_windows)
+    if jobs is not None:
+        check_positive_int("jobs", jobs)
+        if jobs <= warmup:
+            raise ValueError(
+                f"window of {jobs} jobs leaves nothing after warmup={warmup}"
+            )
+    else:
+        check_positive("seconds", float(seconds))
+
+
 def slice_windows(
     workload: Workload,
     *,
@@ -117,27 +154,15 @@ def slice_windows(
     than ``warmup + min_jobs``, and every window re-starts its clock at
     zero.
     """
-    if (jobs is None) == (seconds is None):
-        raise ValueError("pass exactly one of jobs= or seconds=")
-    if warmup < 0:
-        raise ValueError(f"warmup must be >= 0, got {warmup}")
-    check_positive_int("min_jobs", min_jobs)
-    if max_windows is not None:
-        check_positive_int("max_windows", max_windows)
+    _check_slicing_args(jobs, seconds, warmup, min_jobs, max_windows)
     n = len(workload)
     if n == 0:
         raise ValueError("cannot slice an empty workload")
 
     bounds: list[tuple[int, int]] = []  # [start, stop) into the sorted arrays
     if jobs is not None:
-        check_positive_int("jobs", jobs)
-        if jobs <= warmup:
-            raise ValueError(
-                f"window of {jobs} jobs leaves nothing after warmup={warmup}"
-            )
         bounds = [(lo, min(lo + jobs, n)) for lo in range(0, n, jobs)]
     else:
-        check_positive("seconds", float(seconds))
         t0 = float(workload.submit[0])
         span = workload.span
         n_slots = max(int(span // seconds) + 1, 1)
@@ -167,3 +192,168 @@ def slice_windows(
         if max_windows is not None and len(out) >= max_windows:
             break
     return out
+
+
+def _window_from_rows(
+    rows: list[tuple[float, float, float, float, float]],
+    *,
+    index: int,
+    warmup: int,
+    name: str,
+    nmax: int,
+) -> Window:
+    """Build one re-based :class:`Window` from buffered job rows.
+
+    Array construction mirrors ``workload.select(...).shifted()`` field
+    for field (float64 submit/runtime/estimate, int64 size/job_ids, same
+    subtraction against the window's first arrival), so the resulting
+    fingerprint is bit-identical to the batch slicer's.
+    """
+    mat = np.asarray(rows, dtype=float)
+    submit = mat[:, 1]
+    piece = Workload(
+        submit=submit - submit[0],
+        runtime=mat[:, 2],
+        size=mat[:, 3].astype(np.int64),
+        estimate=mat[:, 4],
+        job_ids=mat[:, 0].astype(np.int64),
+        name=f"{name}[w{index}]",
+        nmax=nmax,
+    )
+    return Window(index=index, workload=piece, warmup=warmup, t0=float(submit[0]))
+
+
+def stream_windows(
+    source: Workload | Iterable[tuple[float, float, float, float, float]],
+    *,
+    jobs: int | None = None,
+    seconds: float | None = None,
+    warmup: int = 0,
+    min_jobs: int = 2,
+    max_windows: int | None = None,
+    name: str | None = None,
+    nmax: int | None = None,
+) -> Iterator[Window]:
+    """Lazily cut a job stream into the same windows :func:`slice_windows` cuts.
+
+    *source* is either a :class:`~repro.sim.job.Workload` (convenience:
+    its rows are iterated) or any iterator of ``(job_id, submit, runtime,
+    size, estimate)`` rows such as :func:`repro.workloads.swf.iter_swf_jobs`
+    — in which case *name* (window naming) and *nmax* (machine size
+    stamped on each window's workload) should be supplied since a bare
+    stream carries no metadata.
+
+    At most one window's jobs are buffered at any moment, so a
+    multi-million-job trace streams through in O(window) memory; with
+    *max_windows* the source is abandoned as soon as the quota is
+    reached (no further I/O).  Window indices, warm-up trimming, the
+    ``min_jobs`` short-window drop rule and every content fingerprint
+    match :func:`slice_windows` on the materialised trace exactly —
+    per-cell cache keys are slicer-independent (tested).
+
+    The stream must be submit-sorted (SWF archives are); an out-of-order
+    arrival raises :class:`ValueError`, because a lazy slicer cannot
+    re-sort the trace the way the batch path does.
+
+    When *nmax* is non-zero, every job read is validated against it as
+    it arrives — including jobs in windows later dropped as too short —
+    mirroring the batch path's whole-trace
+    :meth:`~repro.sim.job.Workload.validate_for_machine` check.  (With
+    *max_windows*, jobs beyond the quota are never read and therefore
+    cannot be validated; the batch path, which holds the full trace
+    anyway, still checks them.)
+    """
+    _check_slicing_args(jobs, seconds, warmup, min_jobs, max_windows)
+    if isinstance(source, Workload):
+        if name is None:
+            name = source.name
+        if nmax is None:
+            nmax = source.nmax
+        rows_iter: Iterable[tuple[float, float, float, float, float]] = zip(
+            source.job_ids.tolist(),
+            source.submit.tolist(),
+            source.runtime.tolist(),
+            source.size.tolist(),
+            source.estimate.tolist(),
+        )
+    else:
+        rows_iter = source
+    label = "trace" if name is None else name
+    machine = 0 if nmax is None else nmax
+
+    def generate() -> Iterator[Window]:
+        buf: list[tuple[float, float, float, float, float]] = []
+        emitted = 0
+        n_seen = 0
+        last_submit = -np.inf
+        t0 = 0.0  # trace origin (first arrival), set on the first job
+        bucket = 0  # current time-window slot (seconds axis only)
+
+        def flush() -> Window | None:
+            nonlocal emitted
+            if len(buf) - warmup < min_jobs:
+                buf.clear()
+                return None
+            window = _window_from_rows(
+                buf, index=emitted, warmup=warmup, name=label, nmax=machine
+            )
+            emitted += 1
+            buf.clear()
+            return window
+
+        for row in rows_iter:
+            job_id, submit, runtime, size, estimate = row
+            if submit < last_submit:
+                raise ValueError(
+                    f"stream_windows requires a submit-sorted trace: job"
+                    f" {int(job_id)} arrives at {submit} after a job at"
+                    f" {last_submit}"
+                )
+            last_submit = submit
+            if machine and size > machine:
+                # Same fail-fast contract as Workload.validate_for_machine,
+                # applied per job so even jobs in eventually-dropped windows
+                # are caught, exactly like the batch path's up-front check.
+                raise ValueError(
+                    f"job {int(job_id)} needs {int(size)} cores"
+                    f" but the machine has only {machine}"
+                )
+            if n_seen == 0:
+                t0 = float(submit)
+            n_seen += 1
+            if seconds is not None:
+                # Advance to this job's slot, flushing every slot passed on
+                # the way.  Slot edges are computed as t0 + k*seconds with
+                # the same float64 arithmetic as slice_windows' edge array,
+                # and a job exactly on an edge opens the next slot
+                # (searchsorted side="left" semantics).
+                while submit >= t0 + float(bucket + 1) * seconds:
+                    window = flush()
+                    bucket += 1
+                    if not buf:
+                        # Fast-forward across empty slots (a long idle gap
+                        # would otherwise cost one iteration per slot).
+                        # The quotient can be off by one ULP, so jump one
+                        # slot short and let the exact edge comparison
+                        # above take the final steps.
+                        target = int((submit - t0) / seconds) - 1
+                        if target > bucket:
+                            bucket = target
+                    if window is not None:
+                        yield window
+                        if max_windows is not None and emitted >= max_windows:
+                            return
+            buf.append((job_id, submit, runtime, size, estimate))
+            if jobs is not None and len(buf) == jobs:
+                window = flush()
+                if window is not None:
+                    yield window
+                    if max_windows is not None and emitted >= max_windows:
+                        return
+        if n_seen == 0:
+            raise ValueError("cannot slice an empty workload")
+        window = flush()
+        if window is not None:
+            yield window
+
+    return generate()

@@ -13,7 +13,7 @@ import io
 from pathlib import Path
 
 from repro.eval.matrix import MatrixResult
-from repro.eval.report import matrix_to_csv, matrix_to_json
+from repro.eval.report import deltas_to_csv, matrix_to_csv, matrix_to_json
 from repro.experiments.dynamic import DynamicExperimentResult
 from repro.experiments.figures import Fig1Result, Fig2Result, Fig3Maps
 
@@ -22,6 +22,7 @@ __all__ = [
     "fig2_to_csv",
     "fig3_to_csv",
     "experiment_to_csv",
+    "deltas_to_csv",
     "matrix_to_csv",
     "matrix_to_json",
     "write_all",
@@ -105,4 +106,6 @@ def write_all(
     if matrix is not None:
         emit("eval_matrix.csv", matrix_to_csv(matrix))
         emit("eval_matrix.json", matrix_to_json(matrix))
+        if len(matrix.config.policies) > 1:
+            emit("eval_matrix_deltas.csv", deltas_to_csv(matrix))
     return written

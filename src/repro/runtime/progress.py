@@ -6,6 +6,11 @@ with *done* increasing monotonically to *total* (see
 in arbitrary order; :class:`ProgressAggregator` folds their completions
 back into that contract so existing callbacks (CLI ticker, tests) work
 unchanged no matter how the work was dispatched.
+
+Progress-reporting order is the *only* observable that dispatch order
+may change: results themselves stay bit-identical for any worker count
+and chunk size (see :mod:`repro.runtime.executor`), and nothing in this
+module feeds back into cache keys or result values.
 """
 
 from __future__ import annotations

@@ -7,9 +7,11 @@ policies.
 
 from repro.util.rng import RngFactory, as_generator, spawn_generators
 from repro.util.stats import (
+    BootstrapCI,
     BoxplotStats,
     Summary,
     ascii_boxplot,
+    bootstrap_mean_ci,
     boxplot_stats,
     summarize,
 )
@@ -24,9 +26,11 @@ __all__ = [
     "RngFactory",
     "as_generator",
     "spawn_generators",
+    "BootstrapCI",
     "BoxplotStats",
     "Summary",
     "ascii_boxplot",
+    "bootstrap_mean_ci",
     "boxplot_stats",
     "summarize",
     "check_finite",

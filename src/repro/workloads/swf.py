@@ -1,4 +1,4 @@
-"""Standard Workload Format (SWF) reader/writer.
+"""Standard Workload Format (SWF) reader/writer — batch and streaming.
 
 The SWF (Feitelson, Tsafrir & Krakov 2014) is the lingua franca of the
 Parallel Workloads Archive: one job per line, 18 whitespace-separated
@@ -29,40 +29,125 @@ Jobs with non-positive runtime or size are always dropped (they cannot be
 scheduled); the count is reported in ``extra['dropped']``.  Jobs excluded
 *deliberately* — schedulable rows removed because ``keep_failed=False``
 and their status is 0/5 — are counted separately in ``extra['filtered']``.
+
+Two entry points share one row classifier, so their accounting can never
+diverge:
+
+* :func:`parse_swf_text` / :func:`read_swf` — batch: materialise a whole
+  :class:`~repro.sim.job.Workload` (built on top of the iterator below);
+* :func:`iter_swf_jobs` / :class:`SwfStream` — streaming: yield one
+  :class:`SwfJob` at a time with O(1) memory, so a multi-million-job
+  archive trace can feed :func:`repro.eval.windows.stream_windows`
+  without ever being resident in full.
 """
 
 from __future__ import annotations
 
 import io
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.sim.job import Workload
 
-__all__ = ["read_swf", "write_swf", "parse_swf_text"]
+__all__ = [
+    "SwfAccounting",
+    "SwfJob",
+    "SwfStream",
+    "iter_swf_jobs",
+    "parse_swf_text",
+    "read_swf",
+    "write_swf",
+]
 
 _N_FIELDS = 18
 
 
-def parse_swf_text(
-    text: str,
+class SwfJob(NamedTuple):
+    """One schedulable SWF row, reduced to the fields a simulation consumes.
+
+    Values are kept as the raw parsed floats (``size`` included), so a
+    batch of them converts to :class:`~repro.sim.job.Workload` arrays
+    bit-identically to the historical matrix-based parser; ``estimate``
+    already carries the ``max(·, 1.0)`` floor the simulator requires.
+    """
+
+    job_id: float
+    submit: float
+    runtime: float
+    size: float
+    estimate: float
+
+
+@dataclass
+class SwfAccounting:
+    """Mutable side-channel of an :func:`iter_swf_jobs` pass.
+
+    Filled in-place while the iterator is consumed: ``header`` grows as
+    ``;``-comment lines are encountered, ``dropped`` counts unschedulable
+    rows, ``filtered`` counts schedulable rows removed by
+    ``keep_failed=False``, ``yielded`` counts jobs actually produced.
+    The same object can be shared between a header pre-scan and the job
+    pass (header updates are idempotent).
+    """
+
+    header: dict[str, str] = field(default_factory=dict)
+    dropped: int = 0
+    filtered: int = 0
+    yielded: int = 0
+
+    def machine_size(self) -> int:
+        """``MaxProcs`` (or ``MaxNodes``) from the header, 0 if unknown."""
+        for key in ("MaxProcs", "MaxNodes"):
+            if key in self.header:
+                try:
+                    return int(float(self.header[key]))
+                except ValueError:
+                    pass
+        return 0
+
+    def trace_name(self, fallback: str) -> str:
+        """The header's ``Computer`` field, or *fallback*."""
+        return self.header.get("Computer", fallback)
+
+
+def _parse_header_comment(line: str, header: dict[str, str]) -> None:
+    body = line.lstrip("; \t")
+    if ":" in body:
+        key, _, value = body.partition(":")
+        header[key.strip()] = value.strip()
+
+
+def iter_swf_jobs(
+    source: str | Iterable[str],
     *,
-    name: str = "swf",
     keep_failed: bool = True,
-) -> Workload:
-    """Parse SWF content from a string.  See module docstring for field use."""
-    header: dict[str, str] = {}
-    rows: list[list[float]] = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    accounting: SwfAccounting | None = None,
+) -> Iterator[SwfJob]:
+    """Incrementally parse SWF content, yielding one :class:`SwfJob` per row.
+
+    *source* is SWF text or any iterable of lines (an open file object
+    streams the trace with O(1) memory).  Rows are classified exactly as
+    :func:`parse_swf_text` does — that function is built on this
+    iterator — and the running dropped/filtered/header state is exposed
+    through *accounting* (pass your own :class:`SwfAccounting` to read
+    it; counts are only final once the iterator is exhausted).
+
+    Malformed rows (fewer than 11 fields, non-numeric values) raise
+    :class:`ValueError` naming the offending line number, identically to
+    the batch parser.
+    """
+    acc = accounting if accounting is not None else SwfAccounting()
+    lines = source.splitlines() if isinstance(source, str) else source
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         if line.startswith(";"):
-            body = line.lstrip("; \t")
-            if ":" in body:
-                key, _, value = body.partition(":")
-                header[key.strip()] = value.strip()
+            _parse_header_comment(line, acc.header)
             continue
         parts = line.split()
         if len(parts) < 11:
@@ -73,52 +158,46 @@ def parse_swf_text(
             row = [float(x) for x in parts[:_N_FIELDS]]
         except ValueError as exc:
             raise ValueError(f"SWF line {lineno}: non-numeric field ({exc})") from None
-        row += [-1.0] * (_N_FIELDS - len(row))
-        rows.append(row)
+        submit = row[1]
+        runtime = row[3]
+        alloc = row[4]
+        req_procs = row[7]
+        req_time = row[8]
+        status = row[10]
+        size = req_procs if req_procs > 0 else alloc
+        estimate = req_time if req_time > 0 else runtime
+        if not (runtime > 0 and size > 0 and submit >= 0):
+            acc.dropped += 1
+            continue
+        if not keep_failed and status in (0.0, 5.0):
+            acc.filtered += 1
+            continue
+        acc.yielded += 1
+        yield SwfJob(row[0], submit, runtime, size, max(estimate, 1.0))
 
-    if rows:
-        mat = np.asarray(rows, dtype=float)
+
+def parse_swf_text(
+    text: str,
+    *,
+    name: str = "swf",
+    keep_failed: bool = True,
+) -> Workload:
+    """Parse SWF content from a string.  See module docstring for field use."""
+    acc = SwfAccounting()
+    jobs = list(iter_swf_jobs(text, keep_failed=keep_failed, accounting=acc))
+    if jobs:
+        mat = np.asarray(jobs, dtype=float)
     else:
-        mat = np.empty((0, _N_FIELDS), dtype=float)
-
-    job_id = mat[:, 0]
-    submit = mat[:, 1]
-    runtime = mat[:, 3]
-    alloc = mat[:, 4]
-    req_procs = mat[:, 7]
-    req_time = mat[:, 8]
-    status = mat[:, 10]
-
-    size = np.where(req_procs > 0, req_procs, alloc)
-    estimate = np.where(req_time > 0, req_time, runtime)
-
-    schedulable = (runtime > 0) & (size > 0) & (submit >= 0)
-    dropped = int((~schedulable).sum())
-    ok = schedulable
-    filtered = 0
-    if not keep_failed:
-        status_ok = (status != 0) & (status != 5)
-        filtered = int((schedulable & ~status_ok).sum())
-        ok = schedulable & status_ok
-
-    nmax = 0
-    for key in ("MaxProcs", "MaxNodes"):
-        if key in header:
-            try:
-                nmax = int(float(header[key]))
-                break
-            except ValueError:
-                pass
-
+        mat = np.empty((0, 5), dtype=float)
     wl = Workload(
-        submit=submit[ok],
-        runtime=runtime[ok],
-        size=size[ok].astype(np.int64),
-        estimate=np.maximum(estimate[ok], 1.0),
-        job_ids=job_id[ok].astype(np.int64),
-        name=header.get("Computer", name),
-        nmax=nmax,
-        extra={"header": header, "dropped": dropped, "filtered": filtered},
+        submit=mat[:, 1],
+        runtime=mat[:, 2],
+        size=mat[:, 3].astype(np.int64),
+        estimate=mat[:, 4],
+        job_ids=mat[:, 0].astype(np.int64),
+        name=acc.trace_name(name),
+        nmax=acc.machine_size(),
+        extra={"header": acc.header, "dropped": acc.dropped, "filtered": acc.filtered},
     )
     return wl
 
@@ -131,6 +210,72 @@ def read_swf(path: str | Path, *, keep_failed: bool = True) -> Workload:
         name=path.stem,
         keep_failed=keep_failed,
     )
+
+
+class SwfStream:
+    """An SWF file opened for incremental reading.
+
+    Splits the two things a streaming evaluation needs at different
+    times: the *header metadata* (machine size, trace name — read
+    eagerly from the leading comment block without touching job rows)
+    and the *job stream* (:meth:`jobs`, a fresh O(1)-memory iterator per
+    call).  ``accounting`` carries the shared dropped/filtered counters,
+    final once a :meth:`jobs` pass is exhausted.
+    """
+
+    def __init__(self, path: str | Path, *, keep_failed: bool = True) -> None:
+        self.path = Path(path)
+        self.keep_failed = keep_failed
+        self.accounting = SwfAccounting()
+        self._read_leading_header()
+
+    def _read_leading_header(self) -> None:
+        # Only the comment block before the first job row is scanned here;
+        # standard SWF puts all metadata there.  Comments interleaved with
+        # job rows are still collected during a jobs() pass.
+        with self.path.open(encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                if not line.startswith(";"):
+                    break
+                _parse_header_comment(line, self.accounting.header)
+
+    @property
+    def header(self) -> dict[str, str]:
+        """Header metadata from the leading comment block."""
+        return self.accounting.header
+
+    @property
+    def name(self) -> str:
+        """Trace name: the header's ``Computer`` field or the file stem."""
+        return self.accounting.trace_name(self.path.stem)
+
+    @property
+    def machine_size(self) -> int:
+        """``MaxProcs``/``MaxNodes`` from the header, 0 if unknown."""
+        return self.accounting.machine_size()
+
+    def jobs(self) -> Iterator[SwfJob]:
+        """Stream the file's schedulable jobs without materialising it.
+
+        Each call starts a fresh pass: the dropped/filtered/yielded
+        counters are reset (eagerly, before the first job is pulled) so
+        re-reading the file — e.g. a cached streaming re-run — reports
+        single-pass counts instead of accumulating across passes.  The
+        header survives resets.
+        """
+        acc = self.accounting
+        acc.dropped = acc.filtered = acc.yielded = 0
+
+        def generate() -> Iterator[SwfJob]:
+            with self.path.open(encoding="utf-8", errors="replace") as fh:
+                yield from iter_swf_jobs(
+                    fh, keep_failed=self.keep_failed, accounting=acc
+                )
+
+        return generate()
 
 
 def write_swf(

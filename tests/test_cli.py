@@ -208,10 +208,17 @@ class TestEvaluate:
         out = tmp_path / "report"
         assert self._run("--output-dir", str(out)) == 0
         files = sorted(p.name for p in out.iterdir())
-        assert files == ["eval_matrix.csv", "eval_matrix.json"]
+        assert files == [
+            "eval_matrix.csv",
+            "eval_matrix.json",
+            "eval_matrix_deltas.csv",
+        ]
         lines = (out / "eval_matrix.csv").read_text().splitlines()
         assert lines[1].startswith("window,policy,backfill")
         assert len(lines) == 2 + 16
+        delta_lines = (out / "eval_matrix_deltas.csv").read_text().splitlines()
+        assert delta_lines[1].startswith("policy,backfill,baseline")
+        assert "delta_ci_low,delta_ci_high,significant" in delta_lines[1]
 
     def test_synthetic_fallback(self, capsys):
         code = main(
@@ -274,3 +281,83 @@ class TestFiguresExport:
         assert "fig2_convergence.csv" in files
         text = (out / "fig2_convergence.csv").read_text()
         assert text.splitlines()[1] == "trials,normalized_std"
+
+
+class TestEvaluateStreaming:
+    def _run(self, *extra):
+        return main(
+            [
+                "evaluate",
+                "--trace",
+                FIXTURE_SWF,
+                "--window-jobs",
+                "50",
+                "--warmup",
+                "5",
+                *extra,
+            ]
+        )
+
+    def test_stream_output_identical_to_materialised(self, capsys):
+        assert self._run("--no-stream") == 0
+        materialised = capsys.readouterr().out
+        assert self._run("--stream") == 0
+        streamed = capsys.readouterr().out
+        assert streamed == materialised
+
+    def test_stream_reports_written_identically(self, capsys, tmp_path):
+        assert self._run("--output-dir", str(tmp_path / "a")) == 0
+        assert self._run("--stream", "--output-dir", str(tmp_path / "b")) == 0
+        capsys.readouterr()
+        for name in ("eval_matrix.csv", "eval_matrix.json", "eval_matrix_deltas.csv"):
+            assert (tmp_path / "a" / name).read_bytes() == (
+                tmp_path / "b" / name
+            ).read_bytes()
+
+    def test_stream_cached_rerun_simulates_nothing(self, capsys, tmp_path):
+        assert self._run("--cache", str(tmp_path)) == 0
+        capsys.readouterr()
+        assert self._run("--stream", "--cache", str(tmp_path)) == 0
+        assert "simulated 0, cached 16" in capsys.readouterr().out
+
+    def test_stream_synthetic_fallback(self, capsys):
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--stream",
+                    "--jobs",
+                    "300",
+                    "--window-jobs",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "synthetic stand-in" in captured.err
+        assert "Evaluation matrix for" in captured.out
+
+    def test_bootstrap_ci_in_report(self, capsys):
+        assert self._run("--bootstrap", "200", "--ci", "0.9") == 0
+        out = capsys.readouterr().out
+        assert "90% bootstrap CI" in out
+        assert "CI [" in out
+
+    def test_bootstrap_zero_marks_ci_na(self, capsys):
+        assert self._run("--bootstrap", "0") == 0
+        assert "CI n/a" in capsys.readouterr().out
+
+    def test_bootstrap_deterministic_across_runs(self, capsys):
+        assert self._run("--bootstrap", "200", "--seed", "3") == 0
+        first = capsys.readouterr().out
+        assert self._run("--bootstrap", "200", "--seed", "3", "--workers", "2") == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_ci_level_rejected(self):
+        with pytest.raises(SystemExit):
+            self._run("--ci", "1.5")
+
+    def test_bad_bootstrap_rejected(self):
+        with pytest.raises(SystemExit):
+            self._run("--bootstrap", "-5")

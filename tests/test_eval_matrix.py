@@ -230,9 +230,152 @@ class TestReport:
 
     def test_write_matrix_report(self, result, tmp_path):
         paths = write_matrix_report(tmp_path, result)
-        assert sorted(p.name for p in paths) == ["eval_matrix.csv", "eval_matrix.json"]
+        assert sorted(p.name for p in paths) == [
+            "eval_matrix.csv",
+            "eval_matrix.json",
+            "eval_matrix_deltas.csv",
+        ]
         assert all(p.exists() for p in paths)
+
+    def test_write_matrix_report_single_policy_no_deltas(self, trace, tmp_path):
+        solo = run_matrix(trace, MatrixConfig(policies=("fcfs",), window_jobs=50))
+        paths = write_matrix_report(tmp_path, solo)
+        assert sorted(p.name for p in paths) == ["eval_matrix.csv", "eval_matrix.json"]
 
     def test_write_all_wiring(self, result, tmp_path):
         paths = write_all(tmp_path, matrix=result)
-        assert sorted(p.name for p in paths) == ["eval_matrix.csv", "eval_matrix.json"]
+        assert sorted(p.name for p in paths) == [
+            "eval_matrix.csv",
+            "eval_matrix.json",
+            "eval_matrix_deltas.csv",
+        ]
+
+
+class TestStreamingMatrix:
+    """run_matrix over an iterable of windows must be indistinguishable
+    from the materialised path — for any worker count, with or without
+    a warm cache."""
+
+    @staticmethod
+    def _windows(trace, **kw):
+        from repro.eval.windows import stream_windows
+
+        return stream_windows(trace, jobs=50, warmup=5, **kw)
+
+    def test_streamed_cells_bit_identical(self, trace, config, result):
+        streamed = run_matrix(self._windows(trace), config)
+        assert streamed.cells == result.cells
+        assert streamed.n_windows == result.n_windows
+        assert streamed.nmax == result.nmax
+
+    def test_streamed_workers_bit_identical(self, trace, config, result):
+        fanned = run_matrix(self._windows(trace), config, workers=4)
+        assert fanned.cells == result.cells
+
+    def test_trace_name_derived_from_windows(self, trace, config, result):
+        streamed = run_matrix(self._windows(trace), config)
+        assert streamed.trace_name == result.trace_name == trace.name
+
+    def test_trace_name_override(self, trace, config):
+        streamed = run_matrix(self._windows(trace), config, trace_name="renamed")
+        assert streamed.trace_name == "renamed"
+
+    def test_cached_streaming_rerun_simulates_nothing(self, trace, config, tmp_path):
+        warm = run_matrix(trace, config, cache=tmp_path)
+        assert warm.n_simulated == 16
+        again = run_matrix(self._windows(trace), config, cache=tmp_path, workers=2)
+        assert (again.n_simulated, again.n_cached) == (0, 16)
+        assert [c.to_entry() for c in again.cells] == [
+            c.to_entry() for c in warm.cells
+        ]
+
+    def test_streaming_populates_the_same_cache(self, trace, config, tmp_path):
+        first = run_matrix(self._windows(trace), config, cache=tmp_path)
+        assert first.n_simulated == 16
+        again = run_matrix(trace, config, cache=tmp_path)
+        assert (again.n_simulated, again.n_cached) == (0, 16)
+
+    def test_json_reports_byte_identical(self, trace, config, result):
+        doc = matrix_to_json(result)
+        for workers in (1, 4):
+            streamed = run_matrix(self._windows(trace), config, workers=workers)
+            assert matrix_to_json(streamed) == doc
+
+    def test_empty_window_iterable_rejected(self, config):
+        with pytest.raises(ValueError, match="no evaluation windows"):
+            run_matrix(iter(()), config)
+
+    def test_unknown_machine_size_rejected(self, trace, config):
+        import dataclasses
+
+        anon = dataclasses.replace(trace, nmax=0)
+        from repro.eval.windows import stream_windows
+
+        with pytest.raises(ValueError, match="machine size unknown"):
+            run_matrix(stream_windows(anon, jobs=50, warmup=5), config)
+
+
+class TestBootstrapDeltas:
+    def test_delta_cis_deterministic_for_fixed_seed(self, result):
+        a = result.delta_cis(n_boot=300)
+        b = result.delta_cis(n_boot=300)
+        assert a == b
+        assert set(a) == {("F1", "none"), ("F1", "easy")}
+
+    def test_delta_cis_brackets_the_point(self, result):
+        for ci in result.delta_cis(n_boot=300).values():
+            assert ci.defined
+            assert ci.lo <= ci.point <= ci.hi
+            assert ci.n == result.n_windows
+
+    def test_delta_cis_change_with_config_seed(self, trace, config):
+        import dataclasses
+
+        reseeded = run_matrix(trace, dataclasses.replace(config, seed=99))
+        a = run_matrix(trace, config).delta_cis(n_boot=300)
+        b = reseeded.delta_cis(n_boot=300)
+        # same samples (simulation is seed-independent), different draws
+        assert any(
+            a[key] != b[key] for key in a if a[key].lo != a[key].hi
+        ) or all(a[key].lo == a[key].hi for key in a)
+
+    def test_json_carries_ci_fields(self, result):
+        doc = json.loads(matrix_to_json(result, n_boot=200))
+        assert doc["bootstrap"] == {"baseline": "FCFS", "n_boot": 200, "level": 0.95}
+        entry = doc["deltas"]["F1/none"]
+        assert {"delta_ci_low", "delta_ci_high", "significant", "wins"} <= set(entry)
+        assert entry["n"] == result.n_windows
+
+    def test_deltas_csv_columns_and_determinism(self, result):
+        from repro.eval.report import deltas_to_csv
+
+        text = deltas_to_csv(result, n_boot=200)
+        assert text == deltas_to_csv(result, n_boot=200)
+        lines = text.strip().splitlines()
+        assert "delta_ci_low,delta_ci_high,significant" in lines[1]
+        assert len(lines) == 2 + 2  # one row per non-baseline series
+
+    def test_render_report_shows_ci_and_marker_legend(self, result):
+        text = render_matrix_report(result, n_boot=200)
+        assert "bootstrap CI" in text
+        assert "CI [" in text
+
+    def test_single_window_reports_ci_na_without_crashing(self, trace):
+        solo = run_matrix(
+            trace,
+            MatrixConfig(policies=("fcfs", "f1"), window_jobs=len(trace)),
+        )
+        assert solo.n_windows == 1
+        text = render_matrix_report(solo)
+        assert "CI n/a (1 window)" in text
+        doc = json.loads(matrix_to_json(solo))
+        entry = doc["deltas"]["F1/none"]
+        assert entry["delta_ci_low"] is None
+        assert entry["delta_ci_high"] is None
+        assert entry["significant"] is None
+
+    def test_bootstrap_zero_disables_cis(self, result):
+        cis = result.delta_cis(n_boot=0)
+        assert all(not ci.defined for ci in cis.values())
+        text = render_matrix_report(result, n_boot=0)
+        assert "CI n/a" in text

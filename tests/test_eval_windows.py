@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.eval.windows import Window, slice_windows, workload_fingerprint
+from repro.eval.windows import (
+    Window,
+    slice_windows,
+    stream_windows,
+    workload_fingerprint,
+)
 from repro.workloads.lublin import lublin_workload
 from repro.workloads.traces import synthetic_trace
 
@@ -125,3 +130,144 @@ class TestFingerprint:
         a = slice_windows(trace, jobs=50)[0]
         b = slice_windows(trace, jobs=50, warmup=5)[0]
         assert a.fingerprint() != b.fingerprint()
+
+
+class TestStreamWindows:
+    """Lazy slicing must be indistinguishable from batch slicing —
+    identical fingerprints mean identical per-cell cache keys."""
+
+    FIXTURE = "tests/data/ctc_tiny.swf"
+
+    @staticmethod
+    def _fingerprints(windows):
+        return [(w.index, w.t0, w.workload.name, w.fingerprint()) for w in windows]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 50},
+            {"jobs": 50, "warmup": 5},
+            {"jobs": 30, "max_windows": 3},
+            {"jobs": 50, "min_jobs": 45},
+        ],
+    )
+    def test_job_window_parity_with_slice(self, kwargs):
+        from repro.workloads.swf import read_swf
+
+        wl = read_swf(self.FIXTURE)
+        batch = slice_windows(wl, **kwargs)
+        lazy = list(stream_windows(wl, **kwargs))
+        assert self._fingerprints(batch) == self._fingerprints(lazy)
+
+    def test_time_window_parity_with_slice(self):
+        from repro.workloads.swf import read_swf
+
+        wl = read_swf(self.FIXTURE)
+        seconds = wl.span / 7 + 1.0
+        batch = slice_windows(wl, seconds=seconds, min_jobs=1)
+        lazy = list(stream_windows(wl, seconds=seconds, min_jobs=1))
+        assert self._fingerprints(batch) == self._fingerprints(lazy)
+
+    def test_parity_from_file_stream(self):
+        from repro.workloads.swf import SwfStream, read_swf
+
+        wl = read_swf(self.FIXTURE)
+        batch = slice_windows(wl, jobs=50, warmup=5)
+        stream = SwfStream(self.FIXTURE)
+        lazy = list(
+            stream_windows(
+                stream.jobs(),
+                jobs=50,
+                warmup=5,
+                name=stream.name,
+                nmax=stream.machine_size,
+            )
+        )
+        assert self._fingerprints(batch) == self._fingerprints(lazy)
+        assert all(w.workload.nmax == wl.nmax for w in lazy)
+
+    def test_max_windows_stops_consuming_the_source(self, trace):
+        seen = []
+
+        def rows():
+            for row in zip(
+                trace.job_ids.tolist(),
+                trace.submit.tolist(),
+                trace.runtime.tolist(),
+                trace.size.tolist(),
+                trace.estimate.tolist(),
+            ):
+                seen.append(row)
+                yield row
+
+        ws = list(stream_windows(rows(), jobs=50, max_windows=2, name=trace.name))
+        assert [w.index for w in ws] == [0, 1]
+        # exactly the two windows' jobs were pulled; the rest never left disk
+        assert len(seen) == 100
+
+    def test_lazy_yielding(self, trace):
+        gen = stream_windows(trace, jobs=50)
+        first = next(gen)
+        assert first.index == 0
+        assert first.workload.name == f"{trace.name}[w0]"
+
+    def test_out_of_order_stream_rejected(self):
+        rows = [
+            (0, 10.0, 5.0, 1, 5.0),
+            (1, 3.0, 5.0, 1, 5.0),
+        ]
+        with pytest.raises(ValueError, match="submit-sorted"):
+            list(stream_windows(iter(rows), jobs=2, min_jobs=1))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            list(stream_windows(iter(()), jobs=10))
+
+    def test_validation_is_eager(self, trace):
+        # bad parameters raise at call time, not at first consumption
+        with pytest.raises(ValueError, match="exactly one"):
+            stream_windows(trace, jobs=10, seconds=100.0)
+        with pytest.raises(ValueError, match="leaves nothing after warmup"):
+            stream_windows(trace, jobs=8, warmup=8)
+
+    def test_warmup_and_scoring_accounting(self, trace):
+        ws = list(stream_windows(trace, jobs=50, warmup=10))
+        assert all(w.warmup == 10 for w in ws)
+        assert all(w.n_scored == w.n_jobs - 10 for w in ws)
+
+    def test_oversized_job_in_dropped_tail_still_rejected(self, trace):
+        # the batch path validates the whole trace before slicing; the
+        # stream must catch an oversized job even when its window would
+        # be dropped as a too-short tail
+        import dataclasses
+
+        bad_sizes = trace.size.copy()
+        bad_sizes[-1] = 10_000  # lands in the dropped 1-job tail below
+        bad = dataclasses.replace(trace, size=bad_sizes)
+        gen = stream_windows(bad, jobs=len(bad) - 1, nmax=trace.nmax)
+        with pytest.raises(ValueError, match="needs 10000 cores"):
+            list(gen)
+
+    def test_nmax_zero_skips_job_validation(self, trace):
+        # unknown machine size: validation is the matrix's job, not ours
+        ws = list(stream_windows(trace, jobs=50, nmax=0))
+        assert len(ws) > 0
+
+    def test_sparse_gap_fast_forward_matches_slice(self):
+        # a huge idle gap spans ~100k empty slots; the stream must jump
+        # them, and land in exactly the slots searchsorted would pick
+        submit = np.concatenate(
+            [np.linspace(0.0, 9.0, 20), np.linspace(1.0e5, 1.0e5 + 9.0, 20)]
+        )
+        wl = lublin_workload(40, nmax=64, seed=2)
+        wl = type(wl)(
+            submit=submit,
+            runtime=wl.runtime,
+            size=wl.size,
+            estimate=wl.estimate,
+            job_ids=np.arange(40),
+            nmax=64,
+        )
+        batch = slice_windows(wl, seconds=1.0, min_jobs=1)
+        lazy = list(stream_windows(wl, seconds=1.0, min_jobs=1))
+        assert self._fingerprints(batch) == self._fingerprints(lazy)

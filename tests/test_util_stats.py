@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.stats import ascii_boxplot, boxplot_stats, summarize
+from repro.util.stats import (
+    ascii_boxplot,
+    bootstrap_mean_ci,
+    boxplot_stats,
+    summarize,
+)
 
 finite_floats = st.floats(
     min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
@@ -100,3 +105,81 @@ class TestAsciiBoxplot:
     def test_median_annotation(self):
         out = ascii_boxplot({"p": [5.0, 5.0, 5.0]})
         assert "median=5.00" in out
+
+
+class TestBootstrapMeanCI:
+    def test_deterministic_for_fixed_seed(self):
+        rng = np.random.default_rng(4)
+        sample = rng.normal(3.0, 1.0, size=40)
+        a = bootstrap_mean_ci(sample, n_boot=500, seed=11)
+        b = bootstrap_mean_ci(sample, n_boot=500, seed=11)
+        assert a == b
+
+    def test_different_seed_different_draws(self):
+        rng = np.random.default_rng(4)
+        sample = rng.normal(3.0, 1.0, size=40)
+        a = bootstrap_mean_ci(sample, n_boot=500, seed=11)
+        b = bootstrap_mean_ci(sample, n_boot=500, seed=12)
+        assert (a.lo, a.hi) != (b.lo, b.hi)
+
+    def test_point_is_sample_mean_and_bracketed(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ci = bootstrap_mean_ci(sample, n_boot=400, seed=0)
+        assert ci.point == pytest.approx(3.0)
+        assert ci.lo <= ci.point <= ci.hi
+        assert ci.defined and ci.n == 5 and ci.n_boot == 400
+
+    def test_shifted_sample_is_significant(self):
+        rng = np.random.default_rng(7)
+        sample = rng.normal(10.0, 0.5, size=50)
+        ci = bootstrap_mean_ci(sample, n_boot=400, seed=0)
+        assert ci.significant is True
+        assert ci.lo > 0
+
+    def test_zero_centred_sample_is_not_significant(self):
+        rng = np.random.default_rng(7)
+        half = rng.normal(0.0, 1.0, size=100)
+        sample = np.concatenate([half, -half])  # exactly mean-zero
+        ci = bootstrap_mean_ci(sample, n_boot=400, seed=0)
+        assert ci.significant is False
+
+    def test_single_value_degenerates_to_point(self):
+        ci = bootstrap_mean_ci([42.0], n_boot=400, seed=0)
+        assert ci.point == 42.0
+        assert not ci.defined
+        assert ci.significant is None
+        assert ci.n_boot == 0
+
+    def test_n_boot_zero_disables(self):
+        ci = bootstrap_mean_ci([1.0, 2.0, 3.0], n_boot=0)
+        assert ci.point == 2.0
+        assert not ci.defined and ci.significant is None
+
+    def test_wider_level_never_narrows(self):
+        rng = np.random.default_rng(5)
+        sample = rng.normal(0.0, 1.0, size=60)
+        narrow = bootstrap_mean_ci(sample, n_boot=500, level=0.5, seed=3)
+        wide = bootstrap_mean_ci(sample, n_boot=500, level=0.99, seed=3)
+        assert wide.lo <= narrow.lo and narrow.hi <= wide.hi
+
+    def test_level_validated(self):
+        with pytest.raises(ValueError, match="level"):
+            bootstrap_mean_ci([1.0, 2.0], level=1.0)
+        with pytest.raises(ValueError, match="level"):
+            bootstrap_mean_ci([1.0, 2.0], level=0.0)
+
+    def test_negative_n_boot_rejected(self):
+        with pytest.raises(ValueError, match="n_boot"):
+            bootstrap_mean_ci([1.0, 2.0], n_boot=-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            bootstrap_mean_ci([])
+
+    def test_seed_accepts_generator(self):
+        from repro.util.rng import as_generator
+
+        sample = [1.0, 5.0, 2.0, 8.0]
+        a = bootstrap_mean_ci(sample, n_boot=100, seed=as_generator(3))
+        b = bootstrap_mean_ci(sample, n_boot=100, seed=as_generator(3))
+        assert a == b

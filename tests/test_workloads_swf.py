@@ -5,7 +5,14 @@ import pytest
 
 from repro.sim.job import Workload
 from repro.workloads.lublin import lublin_workload
-from repro.workloads.swf import parse_swf_text, read_swf, write_swf
+from repro.workloads.swf import (
+    SwfAccounting,
+    SwfStream,
+    iter_swf_jobs,
+    parse_swf_text,
+    read_swf,
+    write_swf,
+)
 
 SAMPLE = """\
 ; Computer: Test Machine
@@ -155,3 +162,121 @@ class TestWrite:
         p.write_text(SAMPLE)
         wl = read_swf(p)
         assert len(wl) == 2
+
+
+FIXTURE = "tests/data/ctc_tiny.swf"
+
+
+class TestIterSwfJobs:
+    """The streaming parser must agree with the batch parser everywhere —
+    parse_swf_text is built on iter_swf_jobs, and these tests pin the
+    shared accounting contract."""
+
+    def test_batch_parity_on_fixture(self):
+        text = open(FIXTURE, encoding="utf-8").read()
+        wl = parse_swf_text(text)
+        acc = SwfAccounting()
+        jobs = list(iter_swf_jobs(text, accounting=acc))
+        assert len(jobs) == len(wl)
+        np.testing.assert_array_equal([j.job_id for j in jobs], wl.job_ids)
+        np.testing.assert_array_equal([j.submit for j in jobs], wl.submit)
+        np.testing.assert_array_equal([j.runtime for j in jobs], wl.runtime)
+        np.testing.assert_array_equal(
+            np.asarray([j.size for j in jobs]).astype(np.int64), wl.size
+        )
+        np.testing.assert_array_equal([j.estimate for j in jobs], wl.estimate)
+        assert acc.dropped == wl.extra["dropped"]
+        assert acc.filtered == wl.extra["filtered"]
+        assert acc.header == wl.extra["header"]
+        assert acc.yielded == len(wl)
+
+    def test_accounting_matches_batch_on_sample(self):
+        # job 2's status becomes 0 (failed): schedulable but filtered.
+        text = SAMPLE.replace(
+            "2 10 0 50 2 -1 -1 -1 -1 -1 1", "2 10 0 50 2 -1 -1 -1 -1 -1 0"
+        )
+        acc = SwfAccounting()
+        jobs = list(iter_swf_jobs(text, keep_failed=False, accounting=acc))
+        wl = parse_swf_text(text, keep_failed=False)
+        assert len(jobs) == len(wl) == 1
+        assert (acc.dropped, acc.filtered) == (
+            wl.extra["dropped"],
+            wl.extra["filtered"],
+        ) == (2, 1)
+
+    def test_accepts_line_iterables(self):
+        from_text = list(iter_swf_jobs(SAMPLE))
+        from_lines = list(iter_swf_jobs(iter(SAMPLE.splitlines())))
+        assert from_text == from_lines
+
+    def test_estimate_floor_applied(self):
+        line = "1 0 -1 0.25 4 -1 -1 4 0.5 -1 1 -1 -1 -1 -1 -1 -1 -1"
+        (job,) = iter_swf_jobs(line)
+        assert job.estimate == 1.0
+
+    def test_short_line_names_lineno(self):
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_swf_jobs("; ok\n1 2 3\n"))
+
+    def test_non_numeric_names_lineno(self):
+        bad = SAMPLE.replace("1 0 5 100", "one 0 5 100", 1)
+        with pytest.raises(ValueError, match="non-numeric"):
+            list(iter_swf_jobs(bad))
+
+    def test_counts_final_only_after_exhaustion(self):
+        acc = SwfAccounting()
+        it = iter_swf_jobs(SAMPLE, accounting=acc)
+        next(it)
+        partial = acc.dropped
+        list(it)
+        assert acc.dropped >= partial
+        assert acc.dropped == 2  # jobs 3 (runtime -1) and 4 (size 0)
+
+
+class TestSwfStream:
+    def test_header_read_without_consuming_jobs(self):
+        stream = SwfStream(FIXTURE)
+        assert stream.name == "CTC SP2"
+        assert stream.machine_size == 338
+        assert stream.accounting.yielded == 0  # no job rows parsed yet
+
+    def test_jobs_match_read_swf(self):
+        stream = SwfStream(FIXTURE)
+        jobs = list(stream.jobs())
+        wl = read_swf(FIXTURE)
+        assert len(jobs) == len(wl)
+        np.testing.assert_array_equal([j.submit for j in jobs], wl.submit)
+        assert stream.accounting.dropped == wl.extra["dropped"]
+
+    def test_name_falls_back_to_stem(self, tmp_path):
+        path = tmp_path / "anon.swf"
+        path.write_text("1 0 -1 10 2 -1 -1 2 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+        stream = SwfStream(path)
+        assert stream.name == "anon"
+        assert stream.machine_size == 0
+
+    def test_keep_failed_flag_respected(self, tmp_path):
+        path = tmp_path / "mixed.swf"
+        path.write_text(
+            SAMPLE.replace(
+                "2 10 0 50 2 -1 -1 -1 -1 -1 1", "2 10 0 50 2 -1 -1 -1 -1 -1 0"
+            )
+        )
+        assert len(list(SwfStream(path).jobs())) == 2
+        assert len(list(SwfStream(path, keep_failed=False).jobs())) == 1
+
+    def test_second_pass_does_not_double_count(self):
+        stream = SwfStream(FIXTURE)
+        list(stream.jobs())
+        first = (
+            stream.accounting.dropped,
+            stream.accounting.filtered,
+            stream.accounting.yielded,
+        )
+        list(stream.jobs())
+        assert (
+            stream.accounting.dropped,
+            stream.accounting.filtered,
+            stream.accounting.yielded,
+        ) == first
+        assert stream.name == "CTC SP2"  # header survives the reset
