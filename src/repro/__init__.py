@@ -17,6 +17,10 @@ The library has four layers (see DESIGN.md for the full inventory):
 * :mod:`repro.runtime` — the parallel execution substrate: worker-pool
   trial simulation with deterministic sharding (bit-identical to serial
   runs) and a content-addressed artifact cache.
+* :mod:`repro.specs` / :mod:`repro.api` — the declarative layer: every
+  experiment is a serializable spec (TOML/JSON round-trips, canonical
+  fingerprints) executed through the one :func:`repro.api.run` facade;
+  :class:`repro.SweepSpec` fans a parameter grid over any base spec.
 
 Quickstart::
 
@@ -25,6 +29,14 @@ Quickstart::
     wl = repro.lublin_workload(2000, nmax=256, seed=42)
     result = repro.simulate(wl, repro.get_policy("F1"), nmax=256)
     print(result.ave_bsld)
+
+or, declaratively::
+
+    from repro import api
+    from repro.specs import EvaluateSpec
+
+    result = api.run(EvaluateSpec(policies=("fcfs", "f1"), window_jobs=500))
+    print(result.best())
 """
 
 from repro.core import (
@@ -43,6 +55,16 @@ from repro.policies import (
     paper_policies,
 )
 from repro.runtime import ArtifactCache, ExecutorConfig, TrialRunner
+from repro.specs import (
+    EvaluateSpec,
+    SimulateSpec,
+    Spec,
+    SpecError,
+    SweepSpec,
+    Table4Spec,
+    TrainSpec,
+    load_spec,
+)
 from repro.sim import (
     Job,
     ScheduleResult,
@@ -59,11 +81,13 @@ from repro.workloads import (
     synthetic_trace,
     write_swf,
 )
+from repro import api  # noqa: E402  (facade: imported after its dependencies)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ArtifactCache",
+    "EvaluateSpec",
     "ExecutorConfig",
     "Job",
     "MatrixConfig",
@@ -74,9 +98,17 @@ __all__ = [
     "Policy",
     "ScheduleResult",
     "ScoreDistribution",
+    "SimulateSpec",
+    "Spec",
+    "SpecError",
+    "SweepSpec",
+    "Table4Spec",
+    "TrainSpec",
     "TrialRunner",
     "Workload",
     "__version__",
+    "api",
+    "load_spec",
     "apply_tsafrir",
     "available_policies",
     "average_bounded_slowdown",

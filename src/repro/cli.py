@@ -6,30 +6,42 @@ Mirrors the three artifact workflows plus convenience commands::
     repro-sched simulate   # schedule a workload under one policy
     repro-sched evaluate   # policy x backfill matrix over trace windows
     repro-sched table4     # regenerate Table 4 rows, paper-vs-measured
+    repro-sched run        # execute any experiment spec (TOML/JSON file)
+    repro-sched sweep      # expand + execute a sweep spec's parameter grid
     repro-sched figures    # regenerate Figures 1-3 data
     repro-sched trace      # emit a synthetic trace stand-in as SWF
     repro-sched analyze    # characterise a workload / policy agreement
     repro-sched info       # library / scale / policy inventory
+
+Every experiment verb (``train`` / ``simulate`` / ``evaluate`` /
+``table4``) is a thin adapter: it builds the matching
+:mod:`repro.specs` spec from its flags and dispatches through
+:func:`repro.api.run`, sharing one output path with ``repro-sched run
+<spec file>`` — so a flag invocation and the equivalent spec file
+produce byte-identical reports.  Shared flag handling lives in
+:mod:`repro.cli_options`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 import numpy as np
 
 import repro
-from repro.core.pipeline import PipelineConfig, obtain_policies
-from repro.eval import (
-    BACKFILL_TOKENS,
-    MatrixConfig,
-    render_matrix_report,
-    run_matrix,
-    stream_windows,
-    write_matrix_report,
+from repro import api
+from repro.cli_options import (
+    add_cache_arg,
+    add_scale_arg,
+    add_workers_arg,
+    bootstrap_type,
+    ci_level_type,
+    split_csv,
+    workers_from,
 )
-from repro.core.regression import RegressionConfig
+from repro.eval import BACKFILL_TOKENS, render_matrix_report, write_matrix_report
 from repro.experiments.figures import (
     fig1_trial_score_distributions,
     fig2_trial_convergence,
@@ -37,278 +49,275 @@ from repro.experiments.figures import (
 )
 from repro.experiments.paper_data import paper_row
 from repro.experiments.report import render_comparison, render_statistics
-from repro.experiments.scale import SCALES, current_scale, current_workers, get_scale
-from repro.experiments.table4 import row_ids, run_row, run_rows
-from repro.runtime import resolve_workers
+from repro.experiments.scale import SCALES, current_scale, get_scale
+from repro.experiments.table4 import row_ids
 from repro.policies.registry import available_policies, get_policy
-from repro.workloads.swf import SwfStream, read_swf, write_swf
+from repro.specs import (
+    EvaluateSpec,
+    SimulateSpec,
+    Spec,
+    SpecError,
+    SweepSpec,
+    Table4Spec,
+    TrainSpec,
+    load_spec,
+    spec_kinds,
+)
+from repro.workloads.swf import read_swf, write_swf
 from repro.workloads.traces import synthetic_trace, trace_names
-
-
-def _add_scale_arg(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "--scale",
-        choices=sorted(SCALES),
-        default=None,
-        help="experiment scale preset (default: $REPRO_SCALE or 'small')",
-    )
 
 
 def _scale_from(args: argparse.Namespace):
     return get_scale(args.scale) if args.scale else current_scale()
 
 
-def _workers_type(value: str) -> int:
-    try:
-        return resolve_workers(value)
-    except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from None
+# ----------------------------------------------------------------------
+# spec execution and per-kind emitters (shared by the verbs and `run`)
+# ----------------------------------------------------------------------
+def _standard_progress(stage: str, done: int, total: int) -> None:
+    if done == total or done % max(total // 10, 1) == 0:
+        print(f"  [{stage}] {done}/{total}", file=sys.stderr)
 
 
-def _cache_dir_type(value: str) -> str:
-    import os
-
-    if os.path.exists(value) and not os.path.isdir(value):
-        raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
-    return value
-
-
-def _bootstrap_type(value: str) -> int:
-    try:
-        n_boot = int(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not an integer: {value!r}") from None
-    if n_boot < 0:
-        raise argparse.ArgumentTypeError(f"--bootstrap must be >= 0, got {value}")
-    return n_boot
-
-
-def _ci_level_type(value: str) -> float:
-    try:
-        level = float(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not a number: {value!r}") from None
-    if not 0.0 < level < 1.0:
-        raise argparse.ArgumentTypeError(
-            f"--ci must be a coverage level in (0, 1), got {value}"
-        )
-    return level
-
-
-def _add_workers_arg(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "--workers",
-        type=_workers_type,
-        default=None,
-        metavar="N",
-        help="worker processes: an integer or 'auto' "
-        "(default: $REPRO_WORKERS or 1; results are identical either way)",
-    )
-
-
-def _workers_from(args: argparse.Namespace) -> int:
-    if args.workers is not None:
-        return args.workers
-    try:
-        return current_workers()
-    except ValueError as exc:
-        raise SystemExit(f"repro-sched: bad $REPRO_WORKERS: {exc}") from None
-
-
-def _cmd_train(args: argparse.Namespace) -> int:
-    scale = _scale_from(args)
-    config = PipelineConfig(
-        n_tuples=args.tuples or scale.n_tuples,
-        trials_per_tuple=args.trials or scale.trials_per_tuple,
-        nmax=args.nmax,
-        seed=args.seed,
-        top_k=args.top,
-        regression=RegressionConfig(max_points=scale.regression_max_points),
-    )
+def _make_stream_progress():
+    # Streamed dispatch calls the pool once per batch, each with its own
+    # local total; report a cumulative count per batch instead of ten
+    # ticks of every (small) batch.  Only the "cells" phase accumulates —
+    # sweep-level ticks reuse the standard printer, so they cannot
+    # inflate the simulated count.
+    done_cells = 0
 
     def progress(stage: str, done: int, total: int) -> None:
-        if done == total or done % max(total // 10, 1) == 0:
-            print(f"  [{stage}] {done}/{total}", file=sys.stderr)
+        nonlocal done_cells
+        if stage != "cells":
+            _standard_progress(stage, done, total)
+        elif done == total:
+            done_cells += total
+            print(f"  [{stage}] {done_cells} simulated", file=sys.stderr)
 
-    result = obtain_policies(
-        config, progress, workers=_workers_from(args), cache=args.cache
-    )
-    print(result.report(args.top))
-    if args.output:
-        result.distribution.to_csv(args.output)
-        print(f"score distribution written to {args.output}")
+    return progress
+
+
+def _progress_for(spec: Spec):
+    if getattr(spec, "stream", False):
+        return _make_stream_progress()
+    if isinstance(spec, SweepSpec) and getattr(spec.base, "stream", False):
+        return _make_stream_progress()
+    return _standard_progress
+
+
+def _dispatch(spec: Spec, args: argparse.Namespace, *, command: str) -> int:
+    """Run *spec* through the facade and emit its result."""
+    if isinstance(spec, EvaluateSpec) and spec.trace is None:
+        print(
+            f"no trace given: using synthetic stand-in {spec.synthetic!r}"
+            f" ({spec.jobs} jobs)",
+            file=sys.stderr,
+        )
+    try:
+        result = api.run(
+            spec,
+            workers=workers_from(args),
+            cache=getattr(args, "cache", None),
+            progress=_progress_for(spec),
+        )
+    except (SpecError, KeyError, ValueError) as exc:
+        raise SystemExit(f"repro-sched {command}: {exc}") from None
+    _EMITTERS[spec.kind](spec, result, args)
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    if args.swf:
-        wl = read_swf(args.swf)
-        nmax = args.nmax or wl.nmax
-    elif args.trace:
-        wl = synthetic_trace(args.trace, seed=args.seed, n_jobs=args.jobs)
-        nmax = wl.nmax
-    else:
-        wl = repro.lublin_workload(args.jobs or 2000, args.nmax, seed=args.seed)
-        wl = repro.apply_tsafrir(wl, seed=args.seed + 1)
-        nmax = args.nmax
-    policy = get_policy(args.policy)
-    result = repro.simulate(
-        wl, policy, nmax, use_estimates=args.estimates, backfill=args.backfill
-    )
+def _emit_train(spec: TrainSpec, result, args: argparse.Namespace) -> None:
+    print(result.report(spec.top_k))
+    output = getattr(args, "output", None)
+    if output:
+        result.distribution.to_csv(output)
+        print(f"score distribution written to {output}")
+
+
+def _emit_simulate(spec: SimulateSpec, report, args: argparse.Namespace) -> None:
+    print(report.line())
+
+
+def _emit_evaluate(spec: EvaluateSpec, result, args: argparse.Namespace) -> None:
     print(
-        f"policy={policy.name} jobs={len(wl)} nmax={nmax} "
-        f"AVEbsld={result.ave_bsld:.2f} makespan={result.makespan:.0f}s "
-        f"util={result.utilization:.3f} backfilled={result.backfill_count}"
+        render_matrix_report(
+            result,
+            baseline=spec.baseline,
+            n_boot=spec.bootstrap,
+            level=spec.ci,
+        )
     )
-    return 0
-
-
-def _split_csv(value: str) -> list[str]:
-    items = [part.strip() for part in value.split(",") if part.strip()]
-    if not items:
-        raise argparse.ArgumentTypeError(f"empty list {value!r}")
-    return items
-
-
-def _cmd_evaluate(args: argparse.Namespace) -> int:
-    window_jobs = args.window_jobs
-    if window_jobs is None and args.window_seconds is None:
-        window_jobs = 5000
-    try:
-        config = MatrixConfig(
-            policies=tuple(args.policies),
-            backfill=tuple(args.backfill),
-            nmax=args.nmax or 0,
-            use_estimates=args.estimates,
-            window_jobs=window_jobs,
-            window_seconds=args.window_seconds,
-            warmup=args.warmup,
-            max_windows=args.max_windows,
-            seed=args.seed,
-        )
-    except (KeyError, ValueError) as exc:
-        raise SystemExit(f"repro-sched evaluate: {exc}") from None
-
-    trace_name = None
-    if args.trace and args.stream:
-        # Lazy replay: the trace file is parsed incrementally and windows
-        # are sliced as jobs stream past — it is never resident in full.
-        stream = SwfStream(args.trace, keep_failed=not args.drop_failed)
-        trace_name = stream.name
-        source = stream_windows(
-            stream.jobs(),
-            jobs=config.window_jobs,
-            seconds=config.window_seconds,
-            warmup=config.warmup,
-            max_windows=config.max_windows,
-            name=stream.name,
-            # the *effective* machine size, so per-job validation in the
-            # stream matches what the matrix will simulate against
-            nmax=args.nmax or stream.machine_size,
-        )
-    else:
-        if args.trace:
-            wl = read_swf(args.trace, keep_failed=not args.drop_failed)
-        else:
-            wl = synthetic_trace(args.synthetic, seed=args.seed, n_jobs=args.jobs)
-            print(
-                f"no --trace given: using synthetic stand-in {wl.name!r}"
-                f" ({len(wl)} jobs)",
-                file=sys.stderr,
-            )
-        if args.stream:
-            # Synthetic stand-ins are generated in memory; --stream still
-            # exercises the lazy windowing + batched dispatch path.
-            source = stream_windows(
-                wl,
-                jobs=config.window_jobs,
-                seconds=config.window_seconds,
-                warmup=config.warmup,
-                max_windows=config.max_windows,
-            )
-            trace_name = wl.name
-        else:
-            source = wl
-
-    if args.stream:
-        # Streamed dispatch calls the pool once per batch, each with its
-        # own local total; report a cumulative count per batch instead of
-        # ten ticks of every (small) batch.
-        done_cells = 0
-
-        def progress(stage: str, done: int, total: int) -> None:
-            nonlocal done_cells
-            if done == total:
-                done_cells += total
-                print(f"  [{stage}] {done_cells} simulated", file=sys.stderr)
-
-    else:
-
-        def progress(stage: str, done: int, total: int) -> None:
-            if done == total or done % max(total // 10, 1) == 0:
-                print(f"  [{stage}] {done}/{total}", file=sys.stderr)
-
-    try:
-        result = run_matrix(
-            source,
-            config,
-            workers=_workers_from(args),
-            cache=args.cache,
-            progress=progress,
-            trace_name=trace_name,
-        )
-        report = render_matrix_report(
-            result,
-            baseline=args.baseline,
-            n_boot=args.bootstrap,
-            level=args.ci,
-        )
-    except (KeyError, ValueError) as exc:
-        raise SystemExit(f"repro-sched evaluate: {exc}") from None
-    print(report)
-    if args.output_dir:
+    output_dir = getattr(args, "output_dir", None)
+    if output_dir:
         paths = write_matrix_report(
-            args.output_dir,
+            output_dir,
             result,
-            baseline=args.baseline,
-            n_boot=args.bootstrap,
-            level=args.ci,
+            baseline=spec.baseline,
+            n_boot=spec.bootstrap,
+            level=spec.ci,
         )
-        print(f"wrote {len(paths)} report file(s) to {args.output_dir}")
-    return 0
+        print(f"wrote {len(paths)} report file(s) to {output_dir}")
 
 
-def _cmd_table4(args: argparse.Namespace) -> int:
-    scale = _scale_from(args)
-    targets = args.rows or row_ids()
-    workers = _workers_from(args)
-
-    def emit(rid: str, result) -> None:
+def _emit_table4(spec: Table4Spec, results, args: argparse.Namespace) -> None:
+    for rid, result in zip(spec.resolved_rows(), results):
         print(render_statistics(result))
         print(render_comparison(result, paper_row(rid), title=f"[{rid}]"))
-        if args.plot:
+        if getattr(args, "plot", False):
             print(result.ascii_plot())
         print()
 
-    if workers == 1:
-        # Serial: stream each row's output as soon as it finishes, so a
-        # long regeneration shows results (and survives interruption)
-        # row by row.
-        for rid in targets:
-            emit(rid, run_row(rid, scale, seed=args.seed))
+
+def _emit_sweep(spec: SweepSpec, result, args: argparse.Namespace) -> None:
+    print(result.summary_table())
+    output_dir = getattr(args, "output_dir", None)
+    if output_dir:
+        from pathlib import Path
+
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "sweep_summary.csv"
+        path.write_text(result.summary_csv(), encoding="utf-8")
+        print(f"wrote sweep summary to {path}")
+
+
+_EMITTERS = {
+    "train": _emit_train,
+    "simulate": _emit_simulate,
+    "evaluate": _emit_evaluate,
+    "table4": _emit_table4,
+    "sweep": _emit_sweep,
+}
+
+
+# ----------------------------------------------------------------------
+# experiment verbs: flags -> spec -> api.run
+# ----------------------------------------------------------------------
+def _cmd_train(args: argparse.Namespace) -> int:
+    try:
+        spec = TrainSpec(
+            scale=args.scale,
+            n_tuples=args.tuples,
+            trials_per_tuple=args.trials,
+            nmax=args.nmax,
+            seed=args.seed,
+            top_k=args.top,
+        )
+    except SpecError as exc:
+        raise SystemExit(f"repro-sched train: {exc}") from None
+    return _dispatch(spec, args, command="train")
+
+
+def _resolve_backfill_flag(value) -> str:
+    """Map the ``--backfill`` flag value to a canonical mode token.
+
+    The historical bare flag (``--backfill`` with no mode) is kept as a
+    deprecated alias for ``--backfill easy``.
+    """
+    if value is True:  # bare flag, no mode argument
+        warnings.warn(
+            "a bare --backfill flag is deprecated; pass a mode from "
+            f"{'/'.join(BACKFILL_TOKENS)} (bare --backfill means 'easy')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return "easy"
+    return value
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    try:
+        spec = SimulateSpec(
+            policy=args.policy,
+            nmax=args.nmax,
+            jobs=args.jobs,
+            seed=args.seed,
+            swf=args.swf,
+            trace=args.trace,
+            estimates=args.estimates,
+            backfill=_resolve_backfill_flag(args.backfill),
+        )
+    except SpecError as exc:
+        raise SystemExit(f"repro-sched simulate: {exc}") from None
+    return _dispatch(spec, args, command="simulate")
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    try:
+        spec = EvaluateSpec(
+            trace=args.trace,
+            synthetic=args.synthetic,
+            jobs=args.jobs,
+            drop_failed=args.drop_failed,
+            stream=args.stream,
+            policies=tuple(args.policies),
+            backfill=tuple(args.backfill),
+            window_jobs=args.window_jobs,
+            window_seconds=args.window_seconds,
+            warmup=args.warmup,
+            max_windows=args.max_windows,
+            nmax=args.nmax,
+            estimates=args.estimates,
+            seed=args.seed,
+            baseline=args.baseline,
+            bootstrap=args.bootstrap,
+            ci=args.ci,
+        )
+    except SpecError as exc:
+        raise SystemExit(f"repro-sched evaluate: {exc}") from None
+    return _dispatch(spec, args, command="evaluate")
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    try:
+        spec = Table4Spec(
+            rows=tuple(args.rows) if args.rows else None,
+            scale=args.scale,
+            seed=args.seed,
+        )
+    except SpecError as exc:
+        raise SystemExit(f"repro-sched table4: {exc}") from None
+    if workers_from(args) == 1:
+        # Serial: run one single-row spec at a time so a long regeneration
+        # shows results (and survives interruption) row by row — same
+        # results, still routed through the facade.
+        for rid in spec.resolved_rows():
+            row_spec = Table4Spec(rows=(rid,), scale=args.scale, seed=args.seed)
+            code = _dispatch(row_spec, args, command="table4")
+            if code != 0:  # pragma: no cover - _dispatch raises on failure
+                return code
         return 0
-
-    def progress(stage: str, done: int, total: int) -> None:
-        print(f"  [{stage}] {done}/{total}", file=sys.stderr)
-
-    results = run_rows(
-        targets, scale, seed=args.seed, workers=workers, progress=progress
-    )
-    for rid, result in zip(targets, results):
-        emit(rid, result)
-    return 0
+    return _dispatch(spec, args, command="table4")
 
 
+# ----------------------------------------------------------------------
+# spec-file verbs
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        raise SystemExit(f"repro-sched run: {exc}") from None
+    return _dispatch(spec, args, command="run")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        raise SystemExit(f"repro-sched sweep: {exc}") from None
+    if not isinstance(spec, SweepSpec):
+        raise SystemExit(
+            f"repro-sched sweep: {args.spec} holds a {spec.kind!r} spec,"
+            " not a sweep (use `repro-sched run` for single specs)"
+        )
+    return _dispatch(spec, args, command="sweep")
+
+
+# ----------------------------------------------------------------------
+# convenience commands (no spec: presentation/IO utilities)
+# ----------------------------------------------------------------------
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.export import write_all
 
@@ -390,9 +399,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"policies: {', '.join(available_policies())}")
     print(f"traces: {', '.join(trace_names())}")
     print(f"table4 rows: {', '.join(row_ids())}")
+    print(f"spec kinds: {', '.join(spec_kinds())}")
     return 0
 
 
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -409,26 +422,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--top", type=int, default=4)
     p.add_argument("--output", help="write the score distribution CSV here")
-    p.add_argument(
-        "--cache",
-        type=_cache_dir_type,
-        metavar="DIR",
-        help="artifact-cache directory; repeated runs of the same config "
-        "load the simulated distribution instead of re-simulating",
-    )
-    _add_workers_arg(p)
-    _add_scale_arg(p)
+    add_cache_arg(p, "the simulated distribution")
+    add_workers_arg(p)
+    add_scale_arg(p)
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("simulate", help="schedule one workload under one policy")
     p.add_argument("--policy", default="F1")
-    p.add_argument("--nmax", type=int, default=256)
+    p.add_argument(
+        "--nmax",
+        type=int,
+        default=None,
+        help="machine size (default: the SWF/trace's own, or 256 for the"
+        " generated model)",
+    )
     p.add_argument("--jobs", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--swf", help="SWF file to replay")
     p.add_argument("--trace", choices=trace_names(), help="synthetic trace stand-in")
     p.add_argument("--estimates", action="store_true")
-    p.add_argument("--backfill", action="store_true")
+    p.add_argument(
+        "--backfill",
+        nargs="?",
+        const=True,
+        default="none",
+        metavar="MODE",
+        help=f"backfill mode from {'/'.join(BACKFILL_TOKENS)} (default none;"
+        " a bare --backfill is a deprecated alias for 'easy')",
+    )
+    add_cache_arg(p, "the simulation's metrics")
+    add_workers_arg(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -463,7 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--bootstrap",
-        type=_bootstrap_type,
+        type=bootstrap_type,
         default=1000,
         metavar="N",
         help="bootstrap resamples behind the paired-delta confidence"
@@ -471,21 +494,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--ci",
-        type=_ci_level_type,
+        type=ci_level_type,
         default=0.95,
         metavar="LEVEL",
         help="nominal coverage of the bootstrap intervals (default 0.95)",
     )
     p.add_argument(
         "--policies",
-        type=_split_csv,
+        type=split_csv,
         default=["fcfs", "f1"],
         metavar="P1,P2,...",
         help="comma-separated policy names (default: fcfs,f1)",
     )
     p.add_argument(
         "--backfill",
-        type=_split_csv,
+        type=split_csv,
         default=["none", "easy"],
         metavar="M1,M2,...",
         help=f"comma-separated backfill modes from {'/'.join(BACKFILL_TOKENS)}"
@@ -536,29 +559,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output-dir", help="also write eval_matrix.csv / eval_matrix.json here"
     )
-    p.add_argument(
-        "--cache",
-        type=_cache_dir_type,
-        metavar="DIR",
-        help="artifact-cache directory; a re-run with an unchanged config"
-        " loads every cell instead of re-simulating",
-    )
-    _add_workers_arg(p)
+    add_cache_arg(p, "every cell")
+    add_workers_arg(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("table4", help="regenerate Table 4 rows")
     p.add_argument("--rows", nargs="*", choices=row_ids(), default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--plot", action="store_true", help="ASCII boxplots")
-    _add_workers_arg(p)
-    _add_scale_arg(p)
+    add_workers_arg(p)
+    add_scale_arg(p)
     p.set_defaults(func=_cmd_table4)
+
+    p = sub.add_parser(
+        "run",
+        help="execute an experiment spec from a TOML/JSON file",
+        description="Execute any spec document (kinds: "
+        + ", ".join(spec_kinds())
+        + "). Equivalent flag invocations produce byte-identical reports.",
+    )
+    p.add_argument("spec", metavar="SPEC.toml", help="spec document to execute")
+    p.add_argument("--output", help="train specs: write the distribution CSV here")
+    p.add_argument(
+        "--output-dir",
+        help="evaluate/sweep specs: write the report files here",
+    )
+    p.add_argument("--plot", action="store_true", help="table4 specs: ASCII boxplots")
+    add_cache_arg(p, "every cached artifact")
+    add_workers_arg(p)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="expand a sweep spec's grid and execute every child spec",
+        description="Execute a sweep spec: the base spec is fanned over the"
+        " parameter grid, sharing one artifact cache, so re-running an"
+        " extended grid only simulates the new cells.",
+    )
+    p.add_argument("spec", metavar="SWEEP.toml", help="sweep spec document")
+    p.add_argument("--output-dir", help="write sweep_summary.csv here")
+    add_cache_arg(p, "every grid cell already covered")
+    add_workers_arg(p)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("figures", help="regenerate Figures 1-3 data")
     p.add_argument("--figure", choices=("1", "2", "3", "all"), default="all")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output-dir", help="also write the series as CSV files")
-    _add_scale_arg(p)
+    add_scale_arg(p)
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("trace", help="emit a synthetic trace stand-in as SWF")

@@ -1,0 +1,136 @@
+"""Shared argparse option types and flag groups for the CLI.
+
+Every ``repro-sched`` subcommand used to re-declare its own CSV
+splitter, worker-count parser and cache-directory validator; this module
+is now the single home of those helpers, so all verbs accept identical
+spellings (and error messages) for the same concepts:
+
+* value types — :func:`split_csv`, :func:`workers_type`,
+  :func:`cache_dir_type`, :func:`bootstrap_type`, :func:`ci_level_type`;
+* flag groups — :func:`add_workers_arg`, :func:`add_cache_arg`,
+  :func:`add_scale_arg` attach the ``--workers`` / ``--cache`` /
+  ``--scale`` flags with one shared help text;
+* environment resolution — :func:`workers_from` applies the
+  ``$REPRO_WORKERS`` default, :func:`scale_name_from` keeps the chosen
+  preset *name* (specs resolve names to numbers themselves).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.experiments.scale import SCALES, current_workers
+from repro.runtime import resolve_workers
+
+__all__ = [
+    "add_cache_arg",
+    "add_scale_arg",
+    "add_workers_arg",
+    "bootstrap_type",
+    "cache_dir_type",
+    "ci_level_type",
+    "split_csv",
+    "workers_from",
+    "workers_type",
+]
+
+
+# ----------------------------------------------------------------------
+# argparse value types
+# ----------------------------------------------------------------------
+def split_csv(value: str) -> list[str]:
+    """Comma-separated list -> stripped, non-empty items."""
+    items = [part.strip() for part in value.split(",") if part.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError(f"empty list {value!r}")
+    return items
+
+
+def workers_type(value: str) -> int:
+    """An integer worker count or ``auto``."""
+    try:
+        return resolve_workers(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def cache_dir_type(value: str) -> str:
+    """A path that is usable as a cache directory."""
+    if os.path.exists(value) and not os.path.isdir(value):
+        raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
+    return value
+
+
+def bootstrap_type(value: str) -> int:
+    """A non-negative bootstrap resample count."""
+    try:
+        n_boot = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}") from None
+    if n_boot < 0:
+        raise argparse.ArgumentTypeError(f"--bootstrap must be >= 0, got {value}")
+    return n_boot
+
+
+def ci_level_type(value: str) -> float:
+    """A bootstrap coverage level in (0, 1)."""
+    try:
+        level = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {value!r}") from None
+    if not 0.0 < level < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"--ci must be a coverage level in (0, 1), got {value}"
+        )
+    return level
+
+
+# ----------------------------------------------------------------------
+# shared flag groups
+# ----------------------------------------------------------------------
+def add_workers_arg(p: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--workers`` flag."""
+    p.add_argument(
+        "--workers",
+        type=workers_type,
+        default=None,
+        metavar="N",
+        help="worker processes: an integer or 'auto' "
+        "(default: $REPRO_WORKERS or 1; results are identical either way)",
+    )
+
+
+def add_cache_arg(p: argparse.ArgumentParser, what: str) -> None:
+    """Attach the standard ``--cache`` flag (*what* names the artifact)."""
+    p.add_argument(
+        "--cache",
+        type=cache_dir_type,
+        metavar="DIR",
+        help="artifact-cache directory; a re-run with an unchanged config"
+        f" loads {what} instead of re-simulating",
+    )
+
+
+def add_scale_arg(p: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--scale`` preset flag."""
+    p.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment scale preset (default: $REPRO_SCALE or 'small')",
+    )
+
+
+# ----------------------------------------------------------------------
+# environment resolution
+# ----------------------------------------------------------------------
+def workers_from(args: argparse.Namespace) -> int:
+    """``--workers`` if given, else the ``$REPRO_WORKERS`` default."""
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        return workers
+    try:
+        return current_workers()
+    except ValueError as exc:
+        raise SystemExit(f"repro-sched: bad $REPRO_WORKERS: {exc}") from None

@@ -32,10 +32,14 @@ from repro.core.regression import RegressionConfig, fit_all
 from repro.core.taskgen import TaskSetTuple, generate_tuples
 from repro.core.trials import TrialScoreResult
 from repro.policies.learned import NonlinearPolicy
-from repro.runtime.cache import ArtifactCache, config_fingerprint
+from repro.runtime.cache import ArtifactCache, coerce_cache
 from repro.runtime.config import ExecutorConfig
 from repro.runtime.executor import TrialRunner
 from repro.sim.metrics import DEFAULT_TAU
+from repro.specs.fingerprint import (
+    SIMULATION_SEMANTICS_VERSION,
+    distribution_fingerprint,
+)
 from repro.util.validation import check_positive_int
 from repro.workloads.lublin import LublinParams
 
@@ -95,39 +99,30 @@ class PipelineResult:
         return "\n".join(lines)
 
 
-#: Bump whenever the simulation semantics behind build_distribution change
-#: (taskgen, trials, scoring): it invalidates every artifact-cache entry,
-#: so long-lived shared caches never serve results from older semantics.
-SIMULATION_SEMANTICS_VERSION = 1
-
-
 def distribution_cache_key(config: PipelineConfig) -> str:
     """Fingerprint of every config field that influences the distribution.
 
     Execution knobs (worker count, chunk size, cache location) are *not*
     part of the key: serial and parallel runs of the same config produce
-    bit-identical results and therefore share one cache entry.
+    bit-identical results and therefore share one cache entry.  The
+    payload lives in :mod:`repro.specs.fingerprint` (the single home of
+    cache-key derivations), so :meth:`repro.specs.TrainSpec.
+    distribution_key` is this key by construction; the semantics
+    version — :data:`~repro.specs.fingerprint.
+    SIMULATION_SEMANTICS_VERSION`, re-exported here — invalidates every
+    entry when the simulation semantics change.
     """
-    return config_fingerprint(
-        {
-            "semantics": SIMULATION_SEMANTICS_VERSION,
-            "n_tuples": config.n_tuples,
-            "trials_per_tuple": config.trials_per_tuple,
-            "nmax": config.nmax,
-            "s_size": config.s_size,
-            "q_size": config.q_size,
-            "seed": config.seed,
-            "tau": config.tau,
-            "balanced_trials": config.balanced_trials,
-            "lublin_params": config.lublin_params,
-        }
+    return distribution_fingerprint(
+        n_tuples=config.n_tuples,
+        trials_per_tuple=config.trials_per_tuple,
+        nmax=config.nmax,
+        s_size=config.s_size,
+        q_size=config.q_size,
+        seed=config.seed,
+        tau=config.tau,
+        balanced_trials=config.balanced_trials,
+        lublin_params=config.lublin_params,
     )
-
-
-def _as_cache(cache: str | Path | ArtifactCache | None) -> ArtifactCache | None:
-    if cache is None or isinstance(cache, ArtifactCache):
-        return cache
-    return ArtifactCache(cache)
 
 
 def build_distribution(
@@ -160,7 +155,7 @@ def build_distribution(
         seed=config.seed,
         params=config.lublin_params,
     )
-    cache_store = _as_cache(cache)
+    cache_store = coerce_cache(cache)
     key = distribution_cache_key(config) if cache_store is not None else None
     if cache_store is not None:
         entry = cache_store.load(key)

@@ -41,9 +41,10 @@ import numpy as np
 
 from repro.eval.windows import Window, slice_windows
 from repro.policies.registry import get_policy
-from repro.runtime import ArtifactCache, ExecutorConfig, TrialRunner, config_fingerprint
+from repro.runtime import ArtifactCache, ExecutorConfig, TrialRunner, coerce_cache
 from repro.runtime.progress import ProgressCallback
 from repro.sim.engine import normalize_backfill, simulate
+from repro.specs.fingerprint import eval_cell_fingerprint
 from repro.sim.job import Workload
 from repro.sim.metrics import DEFAULT_TAU
 from repro.util.rng import RngFactory, spawn_seed_sequences
@@ -349,27 +350,20 @@ class MatrixResult:
 
 
 def _cell_key(window: Window, config: MatrixConfig, nmax: int, policy: str, backfill: str) -> str:
-    return config_fingerprint(
-        {
-            "kind": "eval-cell",
-            "format": _CELL_FORMAT,
-            "window": window.fingerprint(),
-            "policy": policy,
-            "backfill": backfill,
-            "nmax": nmax,
-            "use_estimates": config.use_estimates,
-            "tau": config.tau,
-        }
+    # The payload lives in specs.fingerprint (the single home of cache-key
+    # derivations); keys are byte-compatible with pre-spec-layer caches.
+    return eval_cell_fingerprint(
+        window_fingerprint=window.fingerprint(),
+        policy=policy,
+        backfill=backfill,
+        nmax=nmax,
+        use_estimates=config.use_estimates,
+        tau=config.tau,
+        cell_format=_CELL_FORMAT,
     )
 
 
 _WINDOW_SUFFIX = re.compile(r"\[w\d+\]$")
-
-
-def _coerce_cache(cache: str | ArtifactCache | None) -> ArtifactCache | None:
-    if cache is None or isinstance(cache, ArtifactCache):
-        return cache
-    return ArtifactCache(cache)
 
 
 def _resolve_nmax(config: MatrixConfig, workload_nmax: int) -> int:
@@ -448,7 +442,7 @@ def run_matrix(
         for seq in spawn_seed_sequences(config.seed, len(axes))
     ]
 
-    store = _coerce_cache(cache)
+    store = coerce_cache(cache)
 
     slots: list[CellResult | None] = [None] * len(axes)
     keys: list[str | None] = [None] * len(axes)
@@ -535,7 +529,7 @@ def _run_matrix_streaming(
     immediately and buffer nothing, so a fully cached re-run holds one
     window at a time and simulates zero cells.
     """
-    store = _coerce_cache(cache)
+    store = coerce_cache(cache)
     runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
     # Children of the config seed, spawned on demand in cell order.
     seed_root = np.random.SeedSequence(config.seed)

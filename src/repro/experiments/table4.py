@@ -27,6 +27,7 @@ __all__ = [
     "Table4Row",
     "TABLE4_ROWS",
     "row_ids",
+    "resolve_rows",
     "build_row_workload",
     "run_row",
     "run_rows",
@@ -134,6 +135,28 @@ def row_ids() -> list[str]:
     return [r.row_id for r in TABLE4_ROWS]
 
 
+def resolve_rows(rows: Sequence[Table4Row | str] | None) -> list[Table4Row]:
+    """Map row ids (or row objects) to declarations, preserving order.
+
+    ``None`` selects all 18 rows in paper order; unknown ids raise
+    :class:`KeyError`.  Row objects pass through verbatim, so customised
+    rows run as given.  This is the single id-resolution used by
+    :func:`run_row`, the CLI and :class:`repro.specs.Table4Spec`.
+    """
+    if rows is None:
+        return list(TABLE4_ROWS)
+    by_id = {r.row_id: r for r in TABLE4_ROWS}
+    resolved = []
+    for row in rows:
+        if isinstance(row, Table4Row):
+            resolved.append(row)
+        elif row in by_id:
+            resolved.append(by_id[row])
+        else:
+            raise KeyError(f"unknown Table 4 row {row!r}; see row_ids()")
+    return resolved
+
+
 def build_row_workload(row: Table4Row, scale: Scale, *, seed: int = 0) -> tuple[Workload, int]:
     """Materialise the workload (and machine size) for one row.
 
@@ -169,11 +192,7 @@ def run_row(
     policies: tuple[str, ...] = POLICY_COLUMNS,
 ) -> DynamicExperimentResult:
     """Run one Table 4 experiment and return the per-sequence samples."""
-    if isinstance(row, str):
-        matches = [r for r in TABLE4_ROWS if r.row_id == row]
-        if not matches:
-            raise KeyError(f"unknown Table 4 row {row!r}; see row_ids()")
-        row = matches[0]
+    (row,) = resolve_rows([row])
     scale = scale or current_scale()
     workload, nmax = build_row_workload(row, scale, seed=seed)
     return run_dynamic_experiment(

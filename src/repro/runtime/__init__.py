@@ -26,7 +26,7 @@ Every future scaling direction (async engines, multi-backend dispatch,
 distributed sweeps) plugs in behind :class:`TrialRunner`'s interface.
 """
 
-from repro.runtime.cache import ArtifactCache, config_fingerprint
+from repro.runtime.cache import ArtifactCache, coerce_cache, config_fingerprint
 from repro.runtime.config import ExecutorConfig, resolve_workers
 from repro.runtime.executor import TrialRunner
 from repro.runtime.progress import ProgressAggregator
@@ -37,6 +37,7 @@ __all__ = [
     "ExecutorConfig",
     "ProgressAggregator",
     "TrialRunner",
+    "coerce_cache",
     "config_fingerprint",
     "plan_shards",
     "resolve_workers",

@@ -26,7 +26,7 @@ from repro.core.datastore import load_trial_artifact, save_trial_artifact
 from repro.core.distribution import ScoreDistribution
 from repro.core.trials import TrialScoreResult
 
-__all__ = ["ArtifactCache", "config_fingerprint"]
+__all__ = ["ArtifactCache", "coerce_cache", "config_fingerprint"]
 
 
 def config_fingerprint(fields: Mapping[str, object]) -> str:
@@ -43,6 +43,20 @@ def config_fingerprint(fields: Mapping[str, object]) -> str:
         default=repr,
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def coerce_cache(
+    cache: "str | Path | ArtifactCache | None",
+) -> "ArtifactCache | None":
+    """Accept a cache, a directory path for one, or ``None``.
+
+    The single coercion used by every layer that takes a ``cache``
+    argument (pipeline, evaluation matrix, the :mod:`repro.api` facade),
+    so they all accept the same spellings.
+    """
+    if cache is None or isinstance(cache, ArtifactCache):
+        return cache
+    return ArtifactCache(cache)
 
 
 class ArtifactCache:

@@ -1,0 +1,141 @@
+"""Declarative spec of a trace-evaluation matrix (``evaluate``).
+
+One :class:`EvaluateSpec` is the serializable counterpart of
+:class:`repro.eval.matrix.MatrixConfig` plus the source selection
+(SWF file vs synthetic stand-in), the streaming toggle, and the report
+parameters (baseline, bootstrap resamples, CI level).  Validation and
+canonicalisation delegate to :class:`~repro.eval.matrix.MatrixConfig`,
+so a spec that constructs is exactly a matrix that runs.
+
+``stream`` is an execution knob — streamed and materialised replays are
+bit-identical by the eval layer's contract — so it is excluded from the
+spec fingerprint, as are workers and cache location (which are not spec
+fields at all: they are arguments of :func:`repro.api.run`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar
+
+from repro.specs.base import Spec, SpecError, register_spec
+from repro.specs.simulate import canonical_policy, check_trace_name
+from repro.specs.train import check_optional_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eval.matrix import MatrixConfig
+
+__all__ = ["EvaluateSpec"]
+
+
+@register_spec
+@dataclass(frozen=True)
+class EvaluateSpec(Spec):
+    """One policy × backfill × windows evaluation over a trace."""
+
+    kind: ClassVar[str] = "evaluate"
+
+    #: SWF trace to replay; ``None`` falls back to *synthetic*.
+    trace: str | None = None
+    synthetic: str = "ctc_sp2"
+    #: Synthetic fallback job count.
+    jobs: int = 5000
+    #: Exclude failed/cancelled SWF rows (status 0/5).
+    drop_failed: bool = False
+    #: Slice windows lazily and dispatch cells as they arrive
+    #: (execution knob: results are bit-identical either way).
+    stream: bool = False
+    policies: tuple[str, ...] = ("fcfs", "f1")
+    backfill: tuple[str, ...] = ("none", "easy")
+    #: Exactly one of window_jobs / window_seconds; both ``None``
+    #: defaults to 5000-job windows.
+    window_jobs: int | None = None
+    window_seconds: float | None = None
+    warmup: int = 0
+    max_windows: int | None = None
+    #: ``None`` defers to the trace's own machine size (SWF MaxProcs).
+    nmax: int | None = None
+    estimates: bool = False
+    #: ``None`` resolves to :data:`repro.sim.metrics.DEFAULT_TAU`.
+    tau: float | None = None
+    seed: int = 0
+    #: Anchor of the paired per-window deltas (default: first policy).
+    baseline: str | None = None
+    #: Bootstrap resamples behind the delta CIs (0 disables them).
+    bootstrap: int = 1000
+    #: Nominal coverage of the bootstrap intervals.
+    ci: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.tau is None:
+            from repro.sim.metrics import DEFAULT_TAU
+
+            object.__setattr__(self, "tau", float(DEFAULT_TAU))
+        if self.window_jobs is None and self.window_seconds is None:
+            object.__setattr__(self, "window_jobs", 5000)
+        check_optional_positive_int("nmax", self.nmax)
+        check_optional_positive_int("jobs", self.jobs)
+        config = self.to_matrix_config()
+        object.__setattr__(self, "policies", config.policies)
+        object.__setattr__(self, "backfill", config.backfill)
+        if self.trace is None:
+            check_trace_name(self.synthetic)
+        if self.baseline is not None:
+            canonical = canonical_policy(self.baseline)
+            if canonical not in self.policies:
+                raise SpecError(
+                    f"baseline {canonical!r} is not among the matrix"
+                    f" policies {self.policies}"
+                )
+            object.__setattr__(self, "baseline", canonical)
+        if isinstance(self.bootstrap, bool) or not isinstance(self.bootstrap, int) or self.bootstrap < 0:
+            raise SpecError(f"bootstrap must be an integer >= 0, got {self.bootstrap!r}")
+        if not 0.0 < self.ci < 1.0:
+            raise SpecError(f"ci must be a coverage level in (0, 1), got {self.ci!r}")
+
+    def to_matrix_config(self) -> "MatrixConfig":
+        """The validated matrix configuration this spec declares."""
+        from repro.eval.matrix import MatrixConfig
+
+        try:
+            return MatrixConfig(
+                policies=tuple(self.policies),
+                backfill=tuple(self.backfill),
+                nmax=self.nmax or 0,
+                use_estimates=self.estimates,
+                tau=self.tau,
+                window_jobs=self.window_jobs,
+                window_seconds=self.window_seconds,
+                warmup=self.warmup,
+                max_windows=self.max_windows,
+                seed=self.seed,
+            )
+        except (KeyError, ValueError) as exc:
+            raise SpecError(f"invalid evaluate spec: {exc}") from None
+
+    def _fingerprint_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "policies": list(self.policies),
+            "backfill": list(self.backfill),
+            "window_jobs": self.window_jobs,
+            "window_seconds": self.window_seconds,
+            "warmup": self.warmup,
+            "max_windows": self.max_windows,
+            "nmax": self.nmax,
+            "estimates": self.estimates,
+            "tau": self.tau,
+            "seed": self.seed,
+            "baseline": self.baseline,
+            "bootstrap": self.bootstrap,
+            "ci": self.ci,
+        }
+        # Source identity: with a real trace the synthetic fallback
+        # fields are irrelevant and must not fork the fingerprint.
+        # ``stream`` never enters: both paths are bit-identical.
+        if self.trace is not None:
+            payload["trace"] = self.trace
+            payload["drop_failed"] = self.drop_failed
+        else:
+            payload["synthetic"] = self.synthetic
+            payload["jobs"] = self.jobs
+        return payload

@@ -1,0 +1,118 @@
+"""Declarative spec of a single-workload simulation (``simulate``).
+
+One :class:`SimulateSpec` names a workload source — an SWF file, a
+synthetic trace stand-in, or the Lublin+Tsafrir model — and one
+(policy, backfill-mode, information-regime) setting.  Backfill uses the
+engine's canonical mode vocabulary
+(:func:`repro.sim.engine.normalize_backfill`): ``"none"`` / ``"easy"``
+/ ``"conservative"``, with the legacy booleans accepted and
+canonicalised, so every verb of the library now spells modes the same
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.specs.base import Spec, SpecError, register_spec
+from repro.specs.train import check_optional_positive_int
+
+__all__ = ["SimulateSpec"]
+
+
+def canonical_policy(name: str) -> str:
+    """Registry-canonical spelling of a policy name (lazy import)."""
+    from repro.policies.registry import get_policy
+
+    try:
+        return get_policy(name).name
+    except KeyError as exc:
+        raise SpecError(str(exc)) from None
+
+
+def canonical_backfill(value: str | bool | None) -> str:
+    """Canonical backfill token (``"none"``/``"easy"``/``"conservative"``)."""
+    from repro.sim.engine import normalize_backfill
+
+    try:
+        return normalize_backfill(value) or "none"
+    except ValueError as exc:
+        raise SpecError(str(exc)) from None
+
+
+def check_trace_name(trace: str | None) -> None:
+    """Validate a synthetic-trace name against the registry (lazy import)."""
+    if trace is None:
+        return
+    from repro.workloads.traces import trace_names
+
+    if trace not in trace_names():
+        raise SpecError(
+            f"unknown synthetic trace {trace!r}; available: "
+            + ", ".join(trace_names())
+        )
+
+
+@register_spec
+@dataclass(frozen=True)
+class SimulateSpec(Spec):
+    """One workload scheduled under one policy and backfill mode."""
+
+    kind: ClassVar[str] = "simulate"
+
+    policy: str = "F1"
+    #: ``None`` defers to the SWF/trace machine size (model source: 256).
+    nmax: int | None = None
+    #: Job count for generated sources (model default: 2000).
+    jobs: int | None = None
+    seed: int = 0
+    #: SWF file to replay (mutually exclusive with *trace*).
+    swf: str | None = None
+    #: Synthetic trace stand-in name (mutually exclusive with *swf*).
+    trace: str | None = None
+    estimates: bool = False
+    #: Backfill mode token; legacy booleans are canonicalised.
+    backfill: str = "none"
+    #: ``None`` resolves to :data:`repro.sim.metrics.DEFAULT_TAU`.
+    tau: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.tau is None:
+            from repro.sim.metrics import DEFAULT_TAU
+
+            object.__setattr__(self, "tau", float(DEFAULT_TAU))
+        if not self.tau > 0:
+            raise SpecError(f"tau must be > 0, got {self.tau!r}")
+        object.__setattr__(self, "policy", canonical_policy(self.policy))
+        object.__setattr__(self, "backfill", canonical_backfill(self.backfill))
+        if self.swf is not None and self.trace is not None:
+            raise SpecError("pass at most one of swf / trace")
+        check_trace_name(self.trace)
+        check_optional_positive_int("nmax", self.nmax)
+        check_optional_positive_int("jobs", self.jobs)
+        if self.swf is None and self.trace is None and self.nmax is None:
+            # The generated model needs an explicit machine size; default
+            # to the paper's 256 so a bare spec is runnable.
+            object.__setattr__(self, "nmax", 256)
+
+    def _fingerprint_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "policy": self.policy,
+            "backfill": self.backfill,
+            "estimates": self.estimates,
+            "tau": self.tau,
+            "nmax": self.nmax,
+        }
+        # Only the fields that shape the selected source enter the
+        # identity; note SWF *content* is additionally fingerprinted at
+        # run time for the cache key (specs.fingerprint.
+        # simulate_cell_fingerprint), so a changed file cannot serve
+        # stale results even though the spec identity keeps the path.
+        if self.swf is not None:
+            payload["swf"] = self.swf
+        else:
+            payload["trace"] = self.trace
+            payload["jobs"] = self.jobs
+            payload["seed"] = self.seed
+        return payload

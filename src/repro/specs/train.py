@@ -1,0 +1,149 @@
+"""Declarative spec of the §3 policy-obtaining pipeline (``train``).
+
+One :class:`TrainSpec` is the serializable counterpart of
+:class:`repro.core.pipeline.PipelineConfig` plus the scale-preset
+resolution the CLI used to hand-roll: fields left ``None`` fall back to
+the named :class:`~repro.experiments.scale.Scale` preset (or, with
+``scale`` itself ``None``, to ``$REPRO_SCALE``) when the spec is
+resolved.  Fingerprints are computed over the *resolved* numbers, so
+``scale = "smoke"`` and the equivalent explicit fields describe — and
+hash as — the same experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar
+
+from repro.specs.base import Spec, SpecError, register_spec
+from repro.specs.fingerprint import distribution_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import PipelineConfig
+    from repro.experiments.scale import Scale
+
+__all__ = ["TrainSpec"]
+
+
+def check_scale_name(scale: str | None) -> None:
+    """Validate a scale-preset name against the registry (lazy import)."""
+    if scale is None:
+        return
+    from repro.experiments.scale import SCALES
+
+    if scale not in SCALES:
+        raise SpecError(
+            f"unknown scale {scale!r}; available: {', '.join(sorted(SCALES))}"
+        )
+
+
+def check_optional_positive_int(name: str, value: object) -> None:
+    """Raise :class:`SpecError` unless *value* is ``None`` or an int >= 1."""
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise SpecError(f"{name} must be a positive integer, got {value!r}")
+
+
+@register_spec
+@dataclass(frozen=True)
+class TrainSpec(Spec):
+    """One training run: tuples → trials → distribution → policies."""
+
+    kind: ClassVar[str] = "train"
+
+    #: Scale preset backing unset fields (``None`` → ``$REPRO_SCALE``).
+    scale: str | None = None
+    n_tuples: int | None = None
+    trials_per_tuple: int | None = None
+    nmax: int = 256
+    s_size: int = 16
+    q_size: int = 32
+    seed: int = 0
+    #: ``None`` resolves to :data:`repro.sim.metrics.DEFAULT_TAU`.
+    tau: float | None = None
+    top_k: int = 4
+    balanced_trials: bool = True
+    regression_max_points: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tau is None:
+            from repro.sim.metrics import DEFAULT_TAU
+
+            object.__setattr__(self, "tau", float(DEFAULT_TAU))
+        check_scale_name(self.scale)
+        for name in (
+            "n_tuples",
+            "trials_per_tuple",
+            "regression_max_points",
+        ):
+            check_optional_positive_int(name, getattr(self, name))
+        for name in ("nmax", "s_size", "q_size", "top_k"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise SpecError(f"{name} must be a positive integer, got {value!r}")
+        if not self.tau > 0:
+            raise SpecError(f"tau must be > 0, got {self.tau!r}")
+
+    def resolve_scale(self) -> "Scale":
+        """The preset backing unset fields (``$REPRO_SCALE`` if unnamed)."""
+        from repro.experiments.scale import current_scale, get_scale
+
+        return get_scale(self.scale) if self.scale else current_scale()
+
+    def to_pipeline_config(self) -> "PipelineConfig":
+        """Resolve presets into a concrete, validated pipeline config."""
+        from repro.core.pipeline import PipelineConfig
+        from repro.core.regression import RegressionConfig
+
+        scale = self.resolve_scale()
+        return PipelineConfig(
+            n_tuples=self.n_tuples or scale.n_tuples,
+            trials_per_tuple=self.trials_per_tuple or scale.trials_per_tuple,
+            nmax=self.nmax,
+            s_size=self.s_size,
+            q_size=self.q_size,
+            seed=self.seed,
+            tau=self.tau,
+            top_k=self.top_k,
+            regression=RegressionConfig(
+                max_points=self.regression_max_points
+                or scale.regression_max_points
+            ),
+            balanced_trials=self.balanced_trials,
+        )
+
+    def distribution_key(self) -> str:
+        """The training artifact-cache key this spec will hit or fill.
+
+        Identical to :func:`repro.core.pipeline.distribution_cache_key`
+        of the resolved config — the spec layer and the pipeline share
+        one derivation (:mod:`repro.specs.fingerprint`).
+        """
+        config = self.to_pipeline_config()
+        return distribution_fingerprint(
+            n_tuples=config.n_tuples,
+            trials_per_tuple=config.trials_per_tuple,
+            nmax=config.nmax,
+            s_size=config.s_size,
+            q_size=config.q_size,
+            seed=config.seed,
+            tau=config.tau,
+            balanced_trials=config.balanced_trials,
+            lublin_params=config.lublin_params,
+        )
+
+    def _fingerprint_payload(self) -> dict[str, Any]:
+        config = self.to_pipeline_config()
+        return {
+            "n_tuples": config.n_tuples,
+            "trials_per_tuple": config.trials_per_tuple,
+            "nmax": config.nmax,
+            "s_size": config.s_size,
+            "q_size": config.q_size,
+            "seed": config.seed,
+            "tau": config.tau,
+            "balanced_trials": config.balanced_trials,
+            "top_k": config.top_k,
+            "regression_max_points": config.regression.max_points,
+        }

@@ -361,3 +361,204 @@ class TestEvaluateStreaming:
     def test_bad_bootstrap_rejected(self):
         with pytest.raises(SystemExit):
             self._run("--bootstrap", "-5")
+
+
+class TestSimulateBackfillModes:
+    """The simulate verb shares the engine's backfill-mode vocabulary."""
+
+    BASE = ["simulate", "--policy", "FCFS", "--jobs", "100", "--nmax", "64"]
+
+    def test_mode_tokens_accepted(self, capsys):
+        for mode in ("none", "easy", "conservative"):
+            assert main([*self.BASE, "--backfill", mode]) == 0
+            assert "backfilled=" in capsys.readouterr().out
+
+    def test_bare_flag_is_deprecated_easy_alias(self, capsys):
+        with pytest.warns(DeprecationWarning, match="bare --backfill"):
+            assert main([*self.BASE, "--backfill"]) == 0
+        bare = capsys.readouterr().out
+        assert main([*self.BASE, "--backfill", "easy"]) == 0
+        assert bare == capsys.readouterr().out
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit, match="backfill"):
+            main([*self.BASE, "--backfill", "sometimes"])
+
+    def test_simulate_cache_flag(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main([*self.BASE, "--cache", cache]) == 0
+        cold = capsys.readouterr().out
+        assert main([*self.BASE, "--cache", cache]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_simulate_workers_flag_accepted(self, capsys):
+        assert main([*self.BASE, "--workers", "2"]) == 0
+        assert "policy=FCFS" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    """`repro-sched run SPEC` reproduces the flag invocations."""
+
+    def _write_eval_spec(self, tmp_path, **extra):
+        lines = [
+            'spec = "evaluate"',
+            f'trace = "{FIXTURE_SWF}"',
+            "window_jobs = 50",
+            "warmup = 5",
+        ]
+        lines += [f"{k} = {v}" for k, v in extra.items()]
+        path = tmp_path / "eval.toml"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_run_evaluate_spec(self, capsys, tmp_path):
+        assert main(["run", str(self._write_eval_spec(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "Evaluation matrix for CTC SP2" in out
+        assert "simulated 16, cached 0" in out
+
+    def test_run_matches_flags_byte_identically(self, capsys, tmp_path):
+        spec = self._write_eval_spec(tmp_path)
+        assert main(["run", str(spec), "--output-dir", str(tmp_path / "s")]) == 0
+        spec_stdout = capsys.readouterr().out
+        code = main(
+            [
+                "evaluate",
+                "--trace",
+                FIXTURE_SWF,
+                "--window-jobs",
+                "50",
+                "--warmup",
+                "5",
+                "--output-dir",
+                str(tmp_path / "f"),
+            ]
+        )
+        assert code == 0
+        flag_stdout = capsys.readouterr().out
+        assert spec_stdout.replace(str(tmp_path / "s"), "") == flag_stdout.replace(
+            str(tmp_path / "f"), ""
+        )
+        for name in ("eval_matrix.csv", "eval_matrix.json", "eval_matrix_deltas.csv"):
+            assert (tmp_path / "s" / name).read_bytes() == (
+                tmp_path / "f" / name
+            ).read_bytes()
+
+    def test_run_train_spec(self, capsys, tmp_path):
+        path = tmp_path / "train.toml"
+        path.write_text(
+            'spec = "train"\nn_tuples = 1\ntrials_per_tuple = 32\n'
+            'scale = "smoke"\ntop_k = 2\n',
+            encoding="utf-8",
+        )
+        out_csv = tmp_path / "dist.csv"
+        assert main(["run", str(path), "--output", str(out_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "rank 1:" in out
+        assert out_csv.exists()
+
+    def test_run_simulate_spec(self, capsys, tmp_path):
+        path = tmp_path / "sim.toml"
+        path.write_text(
+            'spec = "simulate"\npolicy = "F1"\njobs = 120\nnmax = 64\n',
+            encoding="utf-8",
+        )
+        assert main(["run", str(path)]) == 0
+        assert "policy=F1 jobs=120 nmax=64" in capsys.readouterr().out
+
+    def test_run_table4_spec(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        path = tmp_path / "t4.toml"
+        path.write_text(
+            'spec = "table4"\nrows = ["ctc_sp2_actual"]\n', encoding="utf-8"
+        )
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Medians:" in out
+        assert "[ctc_sp2_actual]" in out
+
+    def test_run_missing_file_rejected(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["run", "no_such_spec.toml"])
+
+    def test_run_unknown_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text('spec = "train"\nn_tuple = 3\n', encoding="utf-8")
+        with pytest.raises(SystemExit, match="unknown key"):
+            main(["run", str(path)])
+
+
+class TestSweepCommand:
+    def _write_sweep(self, tmp_path, modes='[["none"], ["easy"]]'):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'spec = "sweep"',
+                    "[base]",
+                    'spec = "evaluate"',
+                    f'trace = "{FIXTURE_SWF}"',
+                    'policies = ["fcfs"]',
+                    'backfill = ["none"]',
+                    "window_jobs = 50",
+                    "warmup = 5",
+                    "[grid]",
+                    'policies = [["fcfs"], ["f1"]]',
+                    f"backfill = {modes}",
+                ]
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_sweep_executes_grid(self, capsys, tmp_path):
+        spec = self._write_sweep(tmp_path)
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", str(spec), "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "4 evaluate spec(s)" in out
+        assert "sweep totals: simulated 16, cached 0" in out
+
+    def test_sweep_rerun_fully_cached_and_extension_incremental(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        spec = self._write_sweep(tmp_path)
+        assert main(["sweep", str(spec), "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", str(spec), "--cache", cache]) == 0
+        assert "sweep totals: simulated 0, cached 16" in capsys.readouterr().out
+        wider = self._write_sweep(
+            tmp_path, modes='[["none"], ["easy"], ["conservative"]]'
+        )
+        assert main(["sweep", str(wider), "--cache", cache]) == 0
+        assert "sweep totals: simulated 8, cached 16" in capsys.readouterr().out
+
+    def test_sweep_summary_csv(self, capsys, tmp_path):
+        spec = self._write_sweep(tmp_path)
+        out_dir = tmp_path / "report"
+        assert main(["sweep", str(spec), "--output-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        lines = (out_dir / "sweep_summary.csv").read_text().splitlines()
+        assert lines[0].startswith("policies,backfill,")
+        assert len(lines) == 5
+
+    def test_sweep_rejects_non_sweep_spec(self, tmp_path):
+        path = tmp_path / "train.toml"
+        path.write_text('spec = "train"\n', encoding="utf-8")
+        with pytest.raises(SystemExit, match="not a sweep"):
+            main(["sweep", str(path)])
+
+    def test_run_accepts_sweep_spec_too(self, capsys, tmp_path):
+        spec = self._write_sweep(tmp_path)
+        assert main(["run", str(spec)]) == 0
+        assert "sweep totals:" in capsys.readouterr().out
+
+
+class TestInfoSpecKinds:
+    def test_info_lists_spec_kinds(self, capsys):
+        assert main(["info"]) == 0
+        assert "spec kinds: evaluate, simulate, sweep, table4, train" in (
+            capsys.readouterr().out
+        )
