@@ -51,6 +51,7 @@ from repro.specs import (
     simulate_cell_fingerprint,
 )
 from repro.specs.fingerprint import SIMULATE_CELL_FORMAT
+from repro.traces import resolve_trace_ref
 from repro.workloads.swf import SwfStream, read_swf
 from repro.workloads.traces import synthetic_trace
 
@@ -238,11 +239,31 @@ def _run_train(
     )
 
 
+def _swf_nmax_or_raise(spec_nmax: int | None, wl: Workload, path: str) -> int:
+    """The effective machine size of an SWF replay, failing clearly.
+
+    Raw PWA files occasionally lack the ``MaxProcs`` header the
+    "default --nmax to the trace's machine size" path relies on; name
+    the missing header and the override instead of simulating against a
+    zero-core machine.
+    """
+    nmax = spec_nmax or wl.nmax
+    if nmax < 1:
+        raise ValueError(
+            f"machine size unknown: the SWF header of {path} has no"
+            " MaxProcs (or MaxNodes) line to default to — pass --nmax"
+            " (SimulateSpec.nmax / EvaluateSpec.nmax) to set the machine"
+            " size explicitly"
+        )
+    return nmax
+
+
 def _simulate_workload(spec: SimulateSpec) -> tuple[Workload, int]:
     """Materialise the spec's workload source and machine size."""
     if spec.swf:
-        wl = read_swf(spec.swf)
-        return wl, spec.nmax or wl.nmax
+        path = resolve_trace_ref(spec.swf)
+        wl = read_swf(path)
+        return wl, _swf_nmax_or_raise(spec.nmax, wl, path)
     if spec.trace:
         wl = synthetic_trace(spec.trace, seed=spec.seed, n_jobs=spec.jobs)
         return wl, spec.nmax or wl.nmax
@@ -306,11 +327,18 @@ def _run_simulate(
 def _evaluate_source(
     spec: EvaluateSpec, config: MatrixConfig
 ) -> tuple[Workload | Iterable[Window], str | None]:
-    """The window source (and trace-name override) a spec declares."""
-    if spec.trace and spec.stream:
+    """The window source (and trace-name override) a spec declares.
+
+    ``pwa:<name>`` trace references resolve through the content-verified
+    local cache (:func:`repro.traces.resolve_trace_ref`) before any file
+    is opened; a missing trace raises the error naming ``repro-sched
+    fetch`` rather than a bare file-not-found.
+    """
+    trace_path = resolve_trace_ref(spec.trace) if spec.trace else None
+    if trace_path and spec.stream:
         # Lazy replay: the trace file is parsed incrementally and windows
         # are sliced as jobs stream past — it is never resident in full.
-        stream = SwfStream(spec.trace, keep_failed=not spec.drop_failed)
+        stream = SwfStream(trace_path, keep_failed=not spec.drop_failed)
         source = stream_windows(
             stream.jobs(),
             jobs=config.window_jobs,
@@ -323,8 +351,8 @@ def _evaluate_source(
             nmax=spec.nmax or stream.machine_size,
         )
         return source, stream.name
-    if spec.trace:
-        wl = read_swf(spec.trace, keep_failed=not spec.drop_failed)
+    if trace_path:
+        wl = read_swf(trace_path, keep_failed=not spec.drop_failed)
     else:
         wl = synthetic_trace(spec.synthetic, seed=spec.seed, n_jobs=spec.jobs)
     if spec.stream:

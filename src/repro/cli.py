@@ -8,6 +8,7 @@ Mirrors the three artifact workflows plus convenience commands::
     repro-sched table4     # regenerate Table 4 rows, paper-vs-measured
     repro-sched run        # execute any experiment spec (TOML/JSON file)
     repro-sched sweep      # expand + execute a sweep spec's parameter grid
+    repro-sched fetch      # download + verify real PWA traces (pwa:<name>)
     repro-sched figures    # regenerate Figures 1-3 data
     repro-sched trace      # emit a synthetic trace stand-in as SWF
     repro-sched analyze    # characterise a workload / policy agreement
@@ -39,9 +40,15 @@ from repro.cli_options import (
     bootstrap_type,
     ci_level_type,
     split_csv,
+    trace_source_type,
     workers_from,
 )
-from repro.eval import BACKFILL_TOKENS, render_matrix_report, write_matrix_report
+from repro.eval import (
+    BACKFILL_TOKENS,
+    render_matrix_report,
+    render_paper_comparison,
+    write_matrix_report,
+)
 from repro.experiments.figures import (
     fig1_trial_score_distributions,
     fig2_trial_convergence,
@@ -62,6 +69,19 @@ from repro.specs import (
     TrainSpec,
     load_spec,
     spec_kinds,
+)
+from repro.traces import (
+    TraceFetchError,
+    TraceUnavailableError,
+    UnknownTraceError,
+    cached_trace_path,
+    fetch_trace,
+    is_trace_ref,
+    paper_prefix_for,
+    resolve_trace_ref,
+    trace_cache_dir,
+    trace_ref_name,
+    trace_sources,
 )
 from repro.workloads.swf import read_swf, write_swf
 from repro.workloads.traces import synthetic_trace, trace_names
@@ -140,6 +160,10 @@ def _emit_simulate(spec: SimulateSpec, report, args: argparse.Namespace) -> None
 
 
 def _emit_evaluate(spec: EvaluateSpec, result, args: argparse.Namespace) -> None:
+    # pwa: references and synthetic stand-ins have attested identities,
+    # so their reports carry the paper-vs-measured comparison block; a
+    # plain file path claims nothing and gets none.
+    paper = paper_prefix_for(spec.trace, spec.synthetic if spec.trace is None else None)
     print(
         render_matrix_report(
             result,
@@ -148,6 +172,11 @@ def _emit_evaluate(spec: EvaluateSpec, result, args: argparse.Namespace) -> None
             level=spec.ci,
         )
     )
+    if paper is not None:
+        block = render_paper_comparison(result, paper)
+        if block is not None:
+            print()
+            print(block)
     output_dir = getattr(args, "output_dir", None)
     if output_dir:
         paths = write_matrix_report(
@@ -156,6 +185,7 @@ def _emit_evaluate(spec: EvaluateSpec, result, args: argparse.Namespace) -> None
             baseline=spec.baseline,
             n_boot=spec.bootstrap,
             level=spec.ci,
+            paper=paper,
         )
         print(f"wrote {len(paths)} report file(s) to {output_dir}")
 
@@ -243,11 +273,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return _dispatch(spec, args, command="simulate")
 
 
+def _apply_synthetic_fallback(args: argparse.Namespace) -> tuple[str | None, str]:
+    """Resolve ``--synthetic-fallback``: effective ``(trace, synthetic)``.
+
+    When the flag is set and the ``pwa:<name>`` trace is *absent* from
+    the local cache, the run proceeds against the synthetic stand-in of
+    the same name (the spec is built with ``trace=None``/
+    ``synthetic=name``, so its fingerprint honestly names the synthetic
+    source).  The probe is a cheap existence check — full content
+    verification happens exactly once, when the spec resolves the
+    reference — so a *present but corrupt* cache entry does not fall
+    back silently: it surfaces the resolution error naming
+    ``repro-sched fetch``, exactly as runs without the flag do.
+    """
+    trace = args.trace
+    if not (getattr(args, "synthetic_fallback", False) and is_trace_ref(trace)):
+        return trace, args.synthetic
+    name = trace_ref_name(trace)
+    if cached_trace_path(name).is_file():
+        return trace, args.synthetic
+    if name not in trace_names():
+        raise SystemExit(
+            f"repro-sched evaluate: trace {trace} is not in the local cache"
+            f" ({trace_cache_dir()}) and no synthetic stand-in named"
+            f" {name!r} exists to fall back to; run `repro-sched fetch"
+            f" {name}` to download it"
+        )
+    print(
+        f"warning: {trace} is not in the local trace cache; falling back"
+        f" to the synthetic stand-in {name!r} (run `repro-sched fetch"
+        f" {name}` to evaluate the real trace)",
+        file=sys.stderr,
+    )
+    return None, name
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    trace, synthetic = _apply_synthetic_fallback(args)
     try:
         spec = EvaluateSpec(
-            trace=args.trace,
-            synthetic=args.synthetic,
+            trace=trace,
+            synthetic=synthetic,
             jobs=args.jobs,
             drop_failed=args.drop_failed,
             stream=args.stream,
@@ -316,6 +382,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# trace acquisition
+# ----------------------------------------------------------------------
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    sources = trace_sources()
+    names = sorted(sources) if args.all else list(args.names)
+    if not names:
+        # Listing mode: the registry with per-trace cache status.  A
+        # cheap existence check keeps the listing instant with multi-GB
+        # traces cached; content is verified on every fetch/resolve.
+        print(f"trace cache: {trace_cache_dir(args.dir)}")
+        for key in sorted(sources):
+            source = sources[key]
+            cached = cached_trace_path(key, directory=args.dir).is_file()
+            status = "cached" if cached else "not fetched"
+            print(f"  pwa:{key:<16s} {source.display_name} [{status}]")
+            print(f"      source: {source.url}")
+            print(f"      sha256: {source.sha256}")
+            if source.notes:
+                print(f"      notes:  {source.notes}")
+        print(
+            "\nfetch with `repro-sched fetch <name>` (or --all), then evaluate"
+            " with `repro-sched evaluate --trace pwa:<name>`."
+        )
+        print(f"license: {next(iter(sources.values())).license}")
+        return 0
+    for name in names:
+        try:
+            result = fetch_trace(name, directory=args.dir, force=args.force)
+        except (UnknownTraceError, TraceFetchError) as exc:
+            raise SystemExit(f"repro-sched fetch: {exc}") from None
+        print(result.line())
+        if not result.was_cached:
+            print(f"  source: {result.source.url}")
+            print(f"  license: {result.source.license}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # convenience commands (no spec: presentation/IO utilities)
 # ----------------------------------------------------------------------
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -372,7 +476,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.workloads.analysis import profile_workload
 
     if args.swf:
-        wl = read_swf(args.swf)
+        try:
+            wl = read_swf(resolve_trace_ref(args.swf))
+        except (TraceUnavailableError, UnknownTraceError) as exc:
+            raise SystemExit(f"repro-sched analyze: {exc}") from None
     elif args.trace:
         wl = synthetic_trace(args.trace, seed=args.seed, n_jobs=args.jobs)
     else:
@@ -398,6 +505,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"scales: {', '.join(sorted(SCALES))} (current: {current_scale().name})")
     print(f"policies: {', '.join(available_policies())}")
     print(f"traces: {', '.join(trace_names())}")
+    print(
+        "pwa traces: "
+        + ", ".join(f"pwa:{name}" for name in sorted(trace_sources()))
+        + " (repro-sched fetch)"
+    )
     print(f"table4 rows: {', '.join(row_ids())}")
     print(f"spec kinds: {', '.join(spec_kinds())}")
     return 0
@@ -438,7 +550,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--jobs", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--swf", help="SWF file to replay")
+    p.add_argument(
+        "--swf",
+        type=trace_source_type,
+        metavar="FILE.swf|pwa:NAME",
+        help="SWF file to replay (a path or a pwa:<name> registry reference)",
+    )
     p.add_argument("--trace", choices=trace_names(), help="synthetic trace stand-in")
     p.add_argument("--estimates", action="store_true")
     p.add_argument(
@@ -459,14 +576,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--trace",
-        metavar="FILE.swf",
-        help="SWF trace to replay (default: a synthetic stand-in)",
+        metavar="FILE.swf|pwa:NAME",
+        type=trace_source_type,
+        help="SWF trace to replay: a file path (.swf or .swf.gz) or a"
+        " pwa:<name> reference into the fetch registry (default: a"
+        " synthetic stand-in)",
     )
     p.add_argument(
         "--synthetic",
         choices=trace_names(),
         default="ctc_sp2",
         help="synthetic fallback trace used when no --trace is given",
+    )
+    p.add_argument(
+        "--synthetic-fallback",
+        action="store_true",
+        help="when a pwa:<name> trace is not in the local cache, evaluate"
+        " the synthetic stand-in of the same name instead of failing",
     )
     p.add_argument(
         "--jobs", type=int, default=5000, help="synthetic fallback job count"
@@ -602,6 +728,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_arg(p)
     p.set_defaults(func=_cmd_sweep)
 
+    p = sub.add_parser(
+        "fetch",
+        help="download + verify real PWA traces into the local cache",
+        description="Download registered Parallel Workloads Archive traces"
+        " into the content-verified local cache ($REPRO_TRACE_DIR, default"
+        " ~/.cache/repro/traces). Downloads are atomic, gzip transport is"
+        " decompressed on the fly, and every file is checked against the"
+        " registry's pinned SHA-256 — re-fetching a verified trace"
+        " downloads nothing. Bare `fetch` lists the registry with cache"
+        " status. Fetched traces are addressed as pwa:<name> wherever a"
+        " trace path is accepted.",
+    )
+    p.add_argument(
+        "names",
+        nargs="*",
+        metavar="TRACE",
+        help="registered trace names (bare `fetch` lists the registry)",
+    )
+    p.add_argument(
+        "--all", action="store_true", help="fetch every registered trace"
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="re-download even when the cached copy verifies",
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="trace cache directory (default: $REPRO_TRACE_DIR or"
+        " ~/.cache/repro/traces)",
+    )
+    p.set_defaults(func=_cmd_fetch)
+
     p = sub.add_parser("figures", help="regenerate Figures 1-3 data")
     p.add_argument("--figure", choices=("1", "2", "3", "all"), default="all")
     p.add_argument("--seed", type=int, default=0)
@@ -617,7 +778,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("analyze", help="characterise a workload")
-    p.add_argument("--swf", help="SWF file to profile")
+    p.add_argument(
+        "--swf",
+        type=trace_source_type,
+        metavar="FILE.swf|pwa:NAME",
+        help="SWF file to profile (a path or a pwa:<name> reference)",
+    )
     p.add_argument("--trace", choices=trace_names())
     p.add_argument("--jobs", type=int, default=None)
     p.add_argument("--nmax", type=int, default=256)

@@ -6,7 +6,9 @@ is now the single home of those helpers, so all verbs accept identical
 spellings (and error messages) for the same concepts:
 
 * value types — :func:`split_csv`, :func:`workers_type`,
-  :func:`cache_dir_type`, :func:`bootstrap_type`, :func:`ci_level_type`;
+  :func:`cache_dir_type`, :func:`bootstrap_type`, :func:`ci_level_type`,
+  :func:`trace_source_type` (a path or a ``pwa:<name>`` registry
+  reference, validated against :mod:`repro.traces` at parse time);
 * flag groups — :func:`add_workers_arg`, :func:`add_cache_arg`,
   :func:`add_scale_arg` attach the ``--workers`` / ``--cache`` /
   ``--scale`` flags with one shared help text;
@@ -31,6 +33,7 @@ __all__ = [
     "cache_dir_type",
     "ci_level_type",
     "split_csv",
+    "trace_source_type",
     "workers_from",
     "workers_type",
 ]
@@ -59,6 +62,24 @@ def cache_dir_type(value: str) -> str:
     """A path that is usable as a cache directory."""
     if os.path.exists(value) and not os.path.isdir(value):
         raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
+    return value
+
+
+def trace_source_type(value: str) -> str:
+    """An SWF path or a ``pwa:<name>`` trace-registry reference.
+
+    Plain paths pass through untouched (existence is checked when the
+    file is opened); registry references are validated at parse time so
+    a typo'd name fails with the list of registered traces instead of a
+    download error later.
+    """
+    from repro.traces import UnknownTraceError, get_source, is_trace_ref, trace_ref_name
+
+    if is_trace_ref(value):
+        try:
+            get_source(trace_ref_name(value))
+        except (UnknownTraceError, ValueError) as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
     return value
 
 

@@ -33,7 +33,9 @@ from repro.eval.report import (
     deltas_to_csv,
     matrix_to_csv,
     matrix_to_json,
+    paper_comparison_doc,
     render_matrix_report,
+    render_paper_comparison,
     write_matrix_report,
 )
 from repro.eval.windows import (
@@ -52,7 +54,9 @@ __all__ = [
     "deltas_to_csv",
     "matrix_to_csv",
     "matrix_to_json",
+    "paper_comparison_doc",
     "render_matrix_report",
+    "render_paper_comparison",
     "run_matrix",
     "slice_windows",
     "stream_windows",

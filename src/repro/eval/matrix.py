@@ -370,8 +370,9 @@ def _resolve_nmax(config: MatrixConfig, workload_nmax: int) -> int:
     nmax = config.nmax or workload_nmax
     if nmax < 1:
         raise ValueError(
-            "machine size unknown: set MatrixConfig.nmax or use a workload"
-            " that carries one (SWF header MaxProcs)"
+            "machine size unknown: the trace's SWF header has no MaxProcs"
+            " (or MaxNodes) line to default to — pass --nmax (MatrixConfig"
+            ".nmax / EvaluateSpec.nmax) to set the machine size explicitly"
         )
     return nmax
 

@@ -43,7 +43,9 @@ __all__ = [
     "deltas_to_csv",
     "matrix_to_csv",
     "matrix_to_json",
+    "paper_comparison_doc",
     "render_matrix_report",
+    "render_paper_comparison",
     "write_matrix_report",
 ]
 
@@ -127,8 +129,13 @@ def matrix_to_json(
     baseline: str | None = None,
     n_boot: int = 1000,
     level: float = 0.95,
+    paper: str | None = None,
 ) -> str:
-    """Config + cells + per-series summaries + bootstrap deltas as JSON."""
+    """Config + cells + per-series summaries + bootstrap deltas as JSON.
+
+    With *paper* (a Table 4 row prefix such as ``"ctc_sp2"``) the
+    document additionally carries a ``paper`` block — see
+    :func:`paper_comparison_doc`."""
     cfg = result.config
     summaries = {
         f"{p}/{b}": {
@@ -178,7 +185,83 @@ def matrix_to_json(
         "summaries": summaries,
         "cells": [c.to_entry() for c in result.cells],
     }
+    if paper is not None:
+        doc["paper"] = {
+            "prefix": paper,
+            "comparison": paper_comparison_doc(result, paper),
+        }
     return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def paper_comparison_doc(result: MatrixResult, prefix: str) -> dict:
+    """Paper-vs-measured medians as plain data (the JSON ``paper`` block).
+
+    For each backfill mode of the matrix, the closest paper Table 4 row
+    (:func:`repro.experiments.paper_data.paper_row_id`) is looked up and
+    every policy present in both gets ``{"paper": …, "measured": …,
+    "ratio": …}`` where *measured* is the median AVEbsld over windows.
+    Modes or policies without a paper counterpart are simply absent;
+    an empty dict means the paper has no rows for *prefix* at all.
+    """
+    from repro.experiments.paper_data import paper_row, paper_row_id
+
+    cfg = result.config
+    summaries = result.summaries()
+    doc: dict = {}
+    for mode in cfg.backfill:
+        row_id = paper_row_id(
+            prefix, backfill=mode, use_estimates=cfg.use_estimates
+        )
+        if row_id is None:
+            continue
+        published = paper_row(row_id)
+        policies = {}
+        for policy in cfg.policies:
+            if policy not in published:
+                continue
+            measured = summaries[(policy, mode)].median
+            paper_value = published[policy]
+            policies[policy] = {
+                "paper": paper_value,
+                "measured": measured,
+                "ratio": measured / paper_value if paper_value else math.inf,
+            }
+        if policies:
+            doc[mode] = {"row": row_id, "policies": policies}
+    return doc
+
+
+def render_paper_comparison(result: MatrixResult, prefix: str) -> str | None:
+    """Terminal paper-vs-measured block, or ``None`` without paper rows.
+
+    One table per backfill mode that has a paper Table 4 counterpart:
+    the paper's median AVEbsld, the measured median over this run's
+    windows, and their ratio.  The comparison is indicative, not exact —
+    the paper replays ten 15-day sequences per trace while this run's
+    windowing is whatever the spec declared — which is why the block
+    names the paper row it compares against.
+    """
+    doc = paper_comparison_doc(result, prefix)
+    if not doc:
+        return None
+    lines = [
+        f"paper-vs-measured for {result.trace_name}"
+        " (median AVEbsld; paper = Table 4, measured = this run's windows):"
+    ]
+    for mode, block in doc.items():
+        lines.append(f"  backfill={mode}  [paper row {block['row']}]")
+        lines.append(
+            "    " + "policy".ljust(8) + "paper".rjust(12) + "measured".rjust(12) + "ratio".rjust(9)
+        )
+        for policy, cell in block["policies"].items():
+            lines.append(
+                "    "
+                + policy.ljust(8)
+                + f"{cell['paper']:.2f}".rjust(12)
+                + f"{cell['measured']:.2f}".rjust(12)
+                + f"{cell['ratio']:.2f}x".rjust(9)
+            )
+    return "\n".join(lines)
 
 
 def render_matrix_report(
@@ -271,16 +354,20 @@ def write_matrix_report(
     baseline: str | None = None,
     n_boot: int = 1000,
     level: float = 0.95,
+    paper: str | None = None,
 ) -> list[Path]:
     """Write ``<stem>.csv``, ``<stem>.json`` (and, for matrices with more
-    than one policy, ``<stem>_deltas.csv``) into *directory*."""
+    than one policy, ``<stem>_deltas.csv``) into *directory*.  *paper*
+    (a Table 4 row prefix) adds the paper-vs-measured block to the JSON."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     artifacts = [
         (f"{stem}.csv", matrix_to_csv(result)),
         (
             f"{stem}.json",
-            matrix_to_json(result, baseline=baseline, n_boot=n_boot, level=level),
+            matrix_to_json(
+                result, baseline=baseline, n_boot=n_boot, level=level, paper=paper
+            ),
         ),
     ]
     if len(result.config.policies) > 1:

@@ -25,6 +25,7 @@ from repro.experiments.paper_data import (
     PAPER_TABLE4,
     POLICY_COLUMNS,
     paper_row,
+    paper_row_id,
 )
 from repro.experiments.report import render_comparison, render_statistics, render_table
 from repro.experiments.scale import SCALES, Scale, current_scale, get_scale
@@ -68,6 +69,7 @@ __all__ = [
     "get_scale",
     "model_stream_for_span",
     "paper_row",
+    "paper_row_id",
     "render_comparison",
     "ranking_stability",
     "render_statistics",

@@ -14,6 +14,7 @@ __all__ = [
     "PAPER_TABLE4",
     "PAPER_TABLE3",
     "paper_row",
+    "paper_row_id",
 ]
 
 #: Column order of Table 4 (identical to the figures' x-axes).
@@ -48,6 +49,28 @@ PAPER_TABLE4: dict[str, tuple[float, ...]] = {
     "sdsc_blue_backfill": (36.40, 17.76, 13.07, 10.20, 9.37, 10.18, 9.66, 11.97),
     "ctc_sp2_backfill": (74.96, 54.32, 24.06, 17.32, 14.12, 14.40, 10.77, 14.07),
 }
+
+
+def paper_row_id(
+    prefix: str, *, backfill: str = "none", use_estimates: bool = False
+) -> str | None:
+    """Table 4 row id for one (trace, backfill mode, information regime).
+
+    The paper reports three variants per trace: ``_actual`` (no
+    backfilling, true runtimes), ``_estimates`` (no backfilling, user
+    estimates) and ``_backfill`` (EASY backfilling).  Any backfilling
+    mode selects the ``_backfill`` variant — the paper only measured
+    EASY, so the comparison is closest-variant, not exact.  Returns
+    ``None`` when the paper has no such row.
+    """
+    if backfill != "none":
+        variant = "backfill"
+    elif use_estimates:
+        variant = "estimates"
+    else:
+        variant = "actual"
+    row_id = f"{prefix}_{variant}"
+    return row_id if row_id in PAPER_TABLE4 else None
 
 
 def paper_row(row_id: str) -> dict[str, float]:

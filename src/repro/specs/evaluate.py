@@ -19,7 +19,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, ClassVar
 
 from repro.specs.base import Spec, SpecError, register_spec
-from repro.specs.simulate import canonical_policy, check_trace_name
+from repro.specs.simulate import (
+    canonical_policy,
+    check_trace_name,
+    check_trace_ref,
+    trace_ref_identity,
+)
 from repro.specs.train import check_optional_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,7 +40,8 @@ class EvaluateSpec(Spec):
 
     kind: ClassVar[str] = "evaluate"
 
-    #: SWF trace to replay; ``None`` falls back to *synthetic*.
+    #: SWF trace to replay — a file path or a ``pwa:<name>`` registry
+    #: reference (:mod:`repro.traces`); ``None`` falls back to *synthetic*.
     trace: str | None = None
     synthetic: str = "ctc_sp2"
     #: Synthetic fallback job count.
@@ -80,6 +86,8 @@ class EvaluateSpec(Spec):
         object.__setattr__(self, "backfill", config.backfill)
         if self.trace is None:
             check_trace_name(self.synthetic)
+        else:
+            check_trace_ref(self.trace)
         if self.baseline is not None:
             canonical = canonical_policy(self.baseline)
             if canonical not in self.policies:
@@ -132,8 +140,10 @@ class EvaluateSpec(Spec):
         # Source identity: with a real trace the synthetic fallback
         # fields are irrelevant and must not fork the fingerprint.
         # ``stream`` never enters: both paths are bit-identical.
+        # ``pwa:`` references enter as their registry content hash, so
+        # the identity is independent of cache location and mirror URL.
         if self.trace is not None:
-            payload["trace"] = self.trace
+            payload["trace"] = trace_ref_identity(self.trace)
             payload["drop_failed"] = self.drop_failed
         else:
             payload["synthetic"] = self.synthetic

@@ -54,6 +54,35 @@ def check_trace_name(trace: str | None) -> None:
         )
 
 
+def check_trace_ref(ref: str | None) -> None:
+    """Validate a ``pwa:<name>`` trace reference against the acquisition
+    registry (lazy import); plain paths and ``None`` pass through."""
+    from repro.traces import UnknownTraceError, get_source, is_trace_ref, trace_ref_name
+
+    if ref is None or not is_trace_ref(ref):
+        return
+    try:
+        get_source(trace_ref_name(ref))
+    except (UnknownTraceError, ValueError) as exc:
+        raise SpecError(str(exc)) from None
+
+
+def trace_ref_identity(ref: str) -> object:
+    """Fingerprint spelling of a trace argument.
+
+    A ``pwa:<name>`` reference enters identities as the registry's
+    pinned *content hash* — never the URL or the resolved cache path —
+    so fingerprints are independent of where the bytes are cached or
+    mirrored from; plain file paths enter as themselves (their content
+    is additionally hashed at the cache-key layer).
+    """
+    from repro.traces import get_source, is_trace_ref, trace_ref_name
+
+    if is_trace_ref(ref):
+        return get_source(trace_ref_name(ref)).content_id()
+    return ref
+
+
 @register_spec
 @dataclass(frozen=True)
 class SimulateSpec(Spec):
@@ -67,7 +96,8 @@ class SimulateSpec(Spec):
     #: Job count for generated sources (model default: 2000).
     jobs: int | None = None
     seed: int = 0
-    #: SWF file to replay (mutually exclusive with *trace*).
+    #: SWF file to replay — a path or a ``pwa:<name>`` registry
+    #: reference (mutually exclusive with *trace*).
     swf: str | None = None
     #: Synthetic trace stand-in name (mutually exclusive with *swf*).
     trace: str | None = None
@@ -89,6 +119,7 @@ class SimulateSpec(Spec):
         if self.swf is not None and self.trace is not None:
             raise SpecError("pass at most one of swf / trace")
         check_trace_name(self.trace)
+        check_trace_ref(self.swf)
         check_optional_positive_int("nmax", self.nmax)
         check_optional_positive_int("jobs", self.jobs)
         if self.swf is None and self.trace is None and self.nmax is None:
@@ -109,8 +140,10 @@ class SimulateSpec(Spec):
         # run time for the cache key (specs.fingerprint.
         # simulate_cell_fingerprint), so a changed file cannot serve
         # stale results even though the spec identity keeps the path.
+        # ``pwa:`` references enter as their registry content hash, so
+        # the identity is independent of cache location and mirror URL.
         if self.swf is not None:
-            payload["swf"] = self.swf
+            payload["swf"] = trace_ref_identity(self.swf)
         else:
             payload["trace"] = self.trace
             payload["jobs"] = self.jobs

@@ -1,0 +1,65 @@
+"""repro.traces — acquisition and provenance of real PWA traces.
+
+The paper's §4.3 evaluation replays four Parallel Workloads Archive
+traces that cannot be redistributed in-repo.  This package makes them
+*a verified command away* instead:
+
+* :mod:`repro.traces.registry` pins provenance — archive URL, SHA-256
+  of the decompressed SWF content, licensing note — for each trace,
+  extensible via the ``$REPRO_TRACE_REGISTRY`` JSON overlay;
+* :mod:`repro.traces.fetch` downloads an entry atomically into the
+  content-verified local cache (``$REPRO_TRACE_DIR``) behind the
+  ``repro-sched fetch`` verb, idempotently and with gzip transport
+  decompressed on the fly;
+* :func:`resolve_trace_ref` resolves the ``pwa:<name>`` reference
+  scheme wherever a trace path is accepted (specs, :func:`repro.api.run`,
+  the CLI verbs), re-verifying content on every resolution.
+
+Identity is content-addressed throughout: a ``pwa:`` reference enters
+spec fingerprints as the registry's content hash — never a URL or cache
+path — so results are byte-identical wherever the bytes came from.
+"""
+
+from repro.traces.fetch import (
+    ChecksumMismatchError,
+    FetchResult,
+    TraceFetchError,
+    TraceUnavailableError,
+    cached_trace_path,
+    fetch_trace,
+    resolve_trace_ref,
+    trace_cache_dir,
+    verify_cached,
+)
+from repro.traces.registry import (
+    TRACE_REF_PREFIX,
+    TraceSource,
+    UnknownTraceError,
+    get_source,
+    is_trace_ref,
+    load_registry_file,
+    paper_prefix_for,
+    trace_ref_name,
+    trace_sources,
+)
+
+__all__ = [
+    "ChecksumMismatchError",
+    "FetchResult",
+    "TRACE_REF_PREFIX",
+    "TraceFetchError",
+    "TraceSource",
+    "TraceUnavailableError",
+    "UnknownTraceError",
+    "cached_trace_path",
+    "fetch_trace",
+    "get_source",
+    "is_trace_ref",
+    "load_registry_file",
+    "paper_prefix_for",
+    "resolve_trace_ref",
+    "trace_cache_dir",
+    "trace_ref_name",
+    "trace_sources",
+    "verify_cached",
+]

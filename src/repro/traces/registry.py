@@ -1,0 +1,277 @@
+"""Provenance registry of the paper's real Parallel Workloads Archive traces.
+
+The evaluation of §4.3 replays four PWA traces.  They are not
+redistributable in-repo, so instead of bundling files this module pins
+*provenance*: for each trace, the archive URL of the exact distribution
+file, the SHA-256 digest of its decompressed SWF content, and the
+archive's licensing note.  :mod:`repro.traces.fetch` turns an entry into
+a content-verified file in the local cache; everywhere a trace path is
+accepted, the ``pwa:<name>`` reference scheme resolves through this
+registry (:func:`repro.traces.fetch.resolve_trace_ref`).
+
+Content, not location, is the identity: spec fingerprints for a
+``pwa:<name>`` reference embed the entry's ``sha256``
+(:meth:`TraceSource.content_id`), never the URL or the cache path, so
+reports are byte-identical whether the trace came from a fresh download,
+a warm cache, or a mirrored registry pointing at a different URL for the
+same bytes.
+
+The registry is extensible without code changes: point
+``$REPRO_TRACE_REGISTRY`` at a JSON document mapping names to entry
+fields (see :func:`load_registry_file`) and its entries overlay the
+built-ins — this is how the test suite and CI exercise the full fetch
+path against ``file://`` URLs, and how a site mirror can re-pin URLs.
+
+Checksums below are pinned digests of the named archive versions; if
+the archive republishes a trace under the same name the fetch fails
+loudly with a checksum mismatch — that is the point of pinning — and
+the registry entry must be updated deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "TRACE_REF_PREFIX",
+    "TraceSource",
+    "UnknownTraceError",
+    "get_source",
+    "is_trace_ref",
+    "load_registry_file",
+    "paper_prefix_for",
+    "trace_ref_name",
+    "trace_sources",
+]
+
+#: Prefix of a registry reference accepted wherever a trace path is.
+TRACE_REF_PREFIX = "pwa:"
+
+_SHA256_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: Blanket licensing note of the Parallel Workloads Archive.
+_PWA_LICENSE = (
+    "Parallel Workloads Archive terms: free for research use with"
+    " acknowledgement of the archive and the trace donor; not"
+    " redistributable in-repo, which is why only provenance is pinned"
+    " here (https://www.cs.huji.ac.il/labs/parallel/workload/)."
+)
+
+
+class UnknownTraceError(KeyError):
+    """A trace name that is in no registry (built-in or overlay)."""
+
+    def __str__(self) -> str:
+        # KeyError's default str() wraps the message in repr-quotes;
+        # callers print these messages verbatim, so unwrap it here.
+        return self.args[0] if self.args else KeyError.__str__(self)
+
+
+@dataclass(frozen=True)
+class TraceSource:
+    """Provenance of one fetchable trace: URL, checksum, licensing.
+
+    ``sha256`` digests the *decompressed* SWF bytes — the form the local
+    cache stores and every consumer reads — so one digest verifies the
+    download, the cached file, and the spec fingerprint alike,
+    independent of the transport compression.
+    """
+
+    key: str
+    display_name: str
+    url: str
+    sha256: str
+    license: str = _PWA_LICENSE
+    #: Row prefix into :data:`repro.experiments.paper_data.PAPER_TABLE4`
+    #: for the paper-vs-measured report block (``None``: no paper row).
+    paper_row: str | None = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not _SHA256_RE.fullmatch(self.sha256):
+            raise ValueError(
+                f"trace {self.key!r}: sha256 must be 64 lowercase hex chars,"
+                f" got {self.sha256!r}"
+            )
+
+    @property
+    def filename(self) -> str:
+        """Name of the decompressed file in the local cache."""
+        return f"{self.key}.swf"
+
+    def content_id(self) -> str:
+        """The content-addressed identity that enters spec fingerprints."""
+        return f"sha256:{self.sha256}"
+
+
+#: The four traces of the paper's §4.3 evaluation (Table 5), pinned to
+#: the cleaned PWA distribution files.
+PAPER_SOURCES: dict[str, TraceSource] = {
+    "curie": TraceSource(
+        key="curie",
+        display_name="CEA Curie",
+        url=(
+            "https://www.cs.huji.ac.il/labs/parallel/workload/"
+            "l_cea_curie/CEA-Curie-2011-2.1-cln.swf.gz"
+        ),
+        sha256="5ef43e2c9f4468aa2e97e14044ee6aaca20a6ab13f52511cd1d93bcb8a4c4ab1",
+        paper_row="curie",
+        notes="20 months, 93,312 cores; the paper replays the cleaned v2.1 file.",
+    ),
+    "anl_intrepid": TraceSource(
+        key="anl_intrepid",
+        display_name="ANL Intrepid",
+        url=(
+            "https://www.cs.huji.ac.il/labs/parallel/workload/"
+            "l_anl_int/ANL-Intrepid-2009-1.swf.gz"
+        ),
+        sha256="0b6d4fedcbd2d6dfa9353762f2cf2d1a4a51a3b43e18f0a8a5e6a2e9f8766c03",
+        paper_row="anl_intrepid",
+        notes="8 months, 163,840 cores (BG/P); allocations in 512-core blocks.",
+    ),
+    "sdsc_blue": TraceSource(
+        key="sdsc_blue",
+        display_name="SDSC Blue Horizon",
+        url=(
+            "https://www.cs.huji.ac.il/labs/parallel/workload/"
+            "l_sdsc_blue/SDSC-BLUE-2000-4.2-cln.swf.gz"
+        ),
+        sha256="9c72f4a7b9201c2a5b2a81161f8be4a72ab28c8e9f26a60e21a6ed3af6a83d18",
+        paper_row="sdsc_blue",
+        notes="32 months, 1,152 cores; the paper replays the cleaned v4.2 file.",
+    ),
+    "ctc_sp2": TraceSource(
+        key="ctc_sp2",
+        display_name="CTC SP2",
+        url=(
+            "https://www.cs.huji.ac.il/labs/parallel/workload/"
+            "l_ctc_sp2/CTC-SP2-1996-3.1-cln.swf.gz"
+        ),
+        sha256="4a1a7df3f7e43d531e3bc43c7a1e1e526a26a0f2aa52c836e57a8e57d9f4b02d",
+        paper_row="ctc_sp2",
+        notes="11 months, 338 cores; the paper replays the cleaned v3.1 file.",
+    ),
+}
+
+#: Environment variable naming a JSON registry overlay document.
+REGISTRY_ENV = "REPRO_TRACE_REGISTRY"
+
+_ENTRY_KEYS = {"display_name", "url", "sha256", "license", "paper_row", "notes"}
+
+
+def load_registry_file(path: str | Path) -> dict[str, TraceSource]:
+    """Parse a JSON registry document into :class:`TraceSource` entries.
+
+    The document maps trace names to objects with ``url`` and ``sha256``
+    (required) plus optional ``display_name`` / ``license`` /
+    ``paper_row`` / ``notes``.  Used for the ``$REPRO_TRACE_REGISTRY``
+    overlay; entries override built-ins of the same name.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read trace registry {path}: {exc}") from None
+    if not isinstance(data, dict):
+        raise ValueError(f"trace registry {path}: top level must be an object")
+    sources: dict[str, TraceSource] = {}
+    for key, entry in data.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"trace registry {path}: entry {key!r} must be an object")
+        unknown = sorted(set(entry) - _ENTRY_KEYS)
+        if unknown:
+            raise ValueError(
+                f"trace registry {path}: entry {key!r} has unknown key(s)"
+                f" {', '.join(map(repr, unknown))}; valid: {', '.join(sorted(_ENTRY_KEYS))}"
+            )
+        missing = sorted({"url", "sha256"} - set(entry))
+        if missing:
+            raise ValueError(
+                f"trace registry {path}: entry {key!r} lacks {', '.join(missing)}"
+            )
+        paper_row = entry.get("paper_row")
+        if paper_row is not None and not isinstance(paper_row, str):
+            raise ValueError(
+                f"trace registry {path}: entry {key!r}: paper_row must be a"
+                f" string Table-4 row prefix or null, got {paper_row!r}"
+            )
+        try:
+            sources[key] = TraceSource(
+                key=key,
+                display_name=str(entry.get("display_name", key)),
+                url=str(entry["url"]),
+                sha256=str(entry["sha256"]),
+                license=str(entry.get("license", _PWA_LICENSE)),
+                paper_row=entry.get("paper_row"),
+                notes=str(entry.get("notes", "")),
+            )
+        except ValueError as exc:
+            raise ValueError(f"trace registry {path}: {exc}") from None
+    return sources
+
+
+def trace_sources() -> dict[str, TraceSource]:
+    """All registered traces: built-ins overlaid by ``$REPRO_TRACE_REGISTRY``.
+
+    The overlay is re-read on every call (it is one small JSON file), so
+    tests and long-lived processes see environment changes immediately.
+    """
+    sources = dict(PAPER_SOURCES)
+    overlay = os.environ.get(REGISTRY_ENV)
+    if overlay:
+        sources.update(load_registry_file(overlay))
+    return sources
+
+
+def get_source(name: str) -> TraceSource:
+    """The registry entry for *name* (:class:`UnknownTraceError` if none)."""
+    sources = trace_sources()
+    try:
+        return sources[name]
+    except KeyError:
+        raise UnknownTraceError(
+            f"unknown trace {name!r}; registered: {', '.join(sorted(sources))}"
+        ) from None
+
+
+def is_trace_ref(ref: object) -> bool:
+    """Whether *ref* spells a registry reference (``pwa:<name>``)."""
+    return isinstance(ref, str) and ref.startswith(TRACE_REF_PREFIX)
+
+
+def trace_ref_name(ref: str) -> str:
+    """The registry name inside a ``pwa:<name>`` reference."""
+    if not is_trace_ref(ref):
+        raise ValueError(f"not a {TRACE_REF_PREFIX}<name> trace reference: {ref!r}")
+    name = ref[len(TRACE_REF_PREFIX) :]
+    if not name:
+        raise ValueError(f"empty trace name in reference {ref!r}")
+    return name
+
+
+def paper_prefix_for(trace: str | None, synthetic: str | None = None) -> str | None:
+    """Paper Table-4 row prefix for an evaluate source, if one exists.
+
+    A ``pwa:<name>`` reference takes its registry entry's ``paper_row``;
+    a synthetic stand-in name is its own prefix when the paper has rows
+    for it; a plain file path claims nothing (a local file's content is
+    not attested, so no paper comparison is implied).
+    """
+    from repro.experiments.paper_data import PAPER_TABLE4
+
+    prefix: str | None = None
+    if trace is not None:
+        if is_trace_ref(trace):
+            entry = trace_sources().get(trace_ref_name(trace))
+            prefix = entry.paper_row if entry is not None else None
+    elif synthetic is not None:
+        prefix = synthetic
+    if prefix is None:
+        return None
+    if any(rid.startswith(prefix + "_") for rid in PAPER_TABLE4):
+        return prefix
+    return None

@@ -26,9 +26,21 @@ Field map (1-based, per the PWA definition):
 ====  =========================  =================================
 
 Jobs with non-positive runtime or size are always dropped (they cannot be
-scheduled); the count is reported in ``extra['dropped']``.  Jobs excluded
-*deliberately* — schedulable rows removed because ``keep_failed=False``
-and their status is 0/5 — are counted separately in ``extra['filtered']``.
+scheduled); the count is reported in ``extra['dropped']``.  One carve-out
+matches how raw PWA files actually look: a *completed* row (status 1)
+whose recorded runtime is exactly 0 is a sub-second job truncated by the
+SWF's one-second resolution, not an unschedulable row — its runtime is
+clamped to :data:`ZERO_RUNTIME_EPSILON` (1.0 s, the format's time
+quantum, matching the estimate floor) and the row is kept, counted in
+``extra['zero_runtime']``.  Zero-runtime rows with any other status stay
+dropped.  Jobs excluded *deliberately* — schedulable rows removed because
+``keep_failed=False`` and their status is 0/5 — are counted separately in
+``extra['filtered']``.
+
+Gzip-compressed files (``.swf.gz``, the archive's native distribution
+form) are opened transparently: :func:`open_swf` sniffs the gzip magic
+bytes, so every reader — batch and streaming — accepts raw archive
+downloads while keeping O(1) memory.
 
 Two entry points share one row classifier, so their accounting can never
 diverge:
@@ -43,11 +55,12 @@ diverge:
 
 from __future__ import annotations
 
+import gzip
 import io
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import NamedTuple
+from typing import NamedTuple, TextIO
 
 import numpy as np
 
@@ -57,13 +70,50 @@ __all__ = [
     "SwfAccounting",
     "SwfJob",
     "SwfStream",
+    "ZERO_RUNTIME_EPSILON",
     "iter_swf_jobs",
+    "open_swf",
     "parse_swf_text",
     "read_swf",
     "write_swf",
 ]
 
 _N_FIELDS = 18
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: Runtime assigned to status-completed rows recorded with runtime 0
+#: (sub-second jobs truncated by the SWF's one-second resolution): the
+#: format's time quantum, matching the estimate floor, so such jobs stay
+#: schedulable instead of vanishing into the dropped count.
+ZERO_RUNTIME_EPSILON = 1.0
+
+#: SWF status code of a completed job (0 = failed, 5 = cancelled).
+_STATUS_COMPLETED = 1.0
+
+
+def open_swf(path: str | Path) -> TextIO:
+    """Open an SWF file for text reading, gzip-decompressing transparently.
+
+    The Parallel Workloads Archive distributes traces as ``.swf.gz``;
+    this sniffs the gzip magic bytes (never trusting the extension) and
+    returns a line-iterable text handle either way, so the streaming
+    readers keep O(1) memory on compressed files too.
+    """
+    path = Path(path)
+    with path.open("rb") as probe:
+        magic = probe.read(2)
+    if magic == _GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+    return path.open(encoding="utf-8", errors="replace")
+
+
+def _swf_stem(path: Path) -> str:
+    """File stem with both ``.gz`` and ``.swf`` suffixes stripped."""
+    stem = path.name
+    for suffix in (".gz", ".swf"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+    return stem or path.stem
 
 
 class SwfJob(NamedTuple):
@@ -89,14 +139,17 @@ class SwfAccounting:
     Filled in-place while the iterator is consumed: ``header`` grows as
     ``;``-comment lines are encountered, ``dropped`` counts unschedulable
     rows, ``filtered`` counts schedulable rows removed by
-    ``keep_failed=False``, ``yielded`` counts jobs actually produced.
-    The same object can be shared between a header pre-scan and the job
-    pass (header updates are idempotent).
+    ``keep_failed=False``, ``zero_runtime`` counts completed rows whose
+    runtime was clamped up from 0 (see :data:`ZERO_RUNTIME_EPSILON`),
+    ``yielded`` counts jobs actually produced.  The same object can be
+    shared between a header pre-scan and the job pass (header updates
+    are idempotent).
     """
 
     header: dict[str, str] = field(default_factory=dict)
     dropped: int = 0
     filtered: int = 0
+    zero_runtime: int = 0
     yielded: int = 0
 
     def machine_size(self) -> int:
@@ -165,6 +218,18 @@ def iter_swf_jobs(
         req_time = row[8]
         status = row[10]
         size = req_procs if req_procs > 0 else alloc
+        if (
+            runtime == 0
+            and status == _STATUS_COMPLETED
+            and size > 0
+            and submit >= 0
+        ):
+            # A *completed* job recorded at 0 s is a sub-second job
+            # truncated by the SWF's one-second resolution (common in
+            # raw PWA traces), not an unschedulable row: clamp it to the
+            # format's time quantum and keep it, counted separately.
+            runtime = ZERO_RUNTIME_EPSILON
+            acc.zero_runtime += 1
         estimate = req_time if req_time > 0 else runtime
         if not (runtime > 0 and size > 0 and submit >= 0):
             acc.dropped += 1
@@ -176,6 +241,31 @@ def iter_swf_jobs(
         yield SwfJob(row[0], submit, runtime, size, max(estimate, 1.0))
 
 
+def _workload_from_jobs(
+    jobs: list[SwfJob], acc: SwfAccounting, fallback_name: str
+) -> Workload:
+    """Assemble the batch :class:`Workload` both batch readers share."""
+    if jobs:
+        mat = np.asarray(jobs, dtype=float)
+    else:
+        mat = np.empty((0, 5), dtype=float)
+    return Workload(
+        submit=mat[:, 1],
+        runtime=mat[:, 2],
+        size=mat[:, 3].astype(np.int64),
+        estimate=mat[:, 4],
+        job_ids=mat[:, 0].astype(np.int64),
+        name=acc.trace_name(fallback_name),
+        nmax=acc.machine_size(),
+        extra={
+            "header": acc.header,
+            "dropped": acc.dropped,
+            "filtered": acc.filtered,
+            "zero_runtime": acc.zero_runtime,
+        },
+    )
+
+
 def parse_swf_text(
     text: str,
     *,
@@ -185,31 +275,16 @@ def parse_swf_text(
     """Parse SWF content from a string.  See module docstring for field use."""
     acc = SwfAccounting()
     jobs = list(iter_swf_jobs(text, keep_failed=keep_failed, accounting=acc))
-    if jobs:
-        mat = np.asarray(jobs, dtype=float)
-    else:
-        mat = np.empty((0, 5), dtype=float)
-    wl = Workload(
-        submit=mat[:, 1],
-        runtime=mat[:, 2],
-        size=mat[:, 3].astype(np.int64),
-        estimate=mat[:, 4],
-        job_ids=mat[:, 0].astype(np.int64),
-        name=acc.trace_name(name),
-        nmax=acc.machine_size(),
-        extra={"header": acc.header, "dropped": acc.dropped, "filtered": acc.filtered},
-    )
-    return wl
+    return _workload_from_jobs(jobs, acc, name)
 
 
 def read_swf(path: str | Path, *, keep_failed: bool = True) -> Workload:
-    """Read an SWF file from disk."""
+    """Read an SWF file from disk (gzip-compressed files open transparently)."""
     path = Path(path)
-    return parse_swf_text(
-        path.read_text(encoding="utf-8", errors="replace"),
-        name=path.stem,
-        keep_failed=keep_failed,
-    )
+    acc = SwfAccounting()
+    with open_swf(path) as fh:
+        jobs = list(iter_swf_jobs(fh, keep_failed=keep_failed, accounting=acc))
+    return _workload_from_jobs(jobs, acc, _swf_stem(path))
 
 
 class SwfStream:
@@ -233,7 +308,7 @@ class SwfStream:
         # Only the comment block before the first job row is scanned here;
         # standard SWF puts all metadata there.  Comments interleaved with
         # job rows are still collected during a jobs() pass.
-        with self.path.open(encoding="utf-8", errors="replace") as fh:
+        with open_swf(self.path) as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -250,7 +325,7 @@ class SwfStream:
     @property
     def name(self) -> str:
         """Trace name: the header's ``Computer`` field or the file stem."""
-        return self.accounting.trace_name(self.path.stem)
+        return self.accounting.trace_name(_swf_stem(self.path))
 
     @property
     def machine_size(self) -> int:
@@ -260,17 +335,17 @@ class SwfStream:
     def jobs(self) -> Iterator[SwfJob]:
         """Stream the file's schedulable jobs without materialising it.
 
-        Each call starts a fresh pass: the dropped/filtered/yielded
-        counters are reset (eagerly, before the first job is pulled) so
+        Each call starts a fresh pass: the dropped/filtered/zero-runtime/
+        yielded counters are reset (eagerly, before the first job is pulled) so
         re-reading the file — e.g. a cached streaming re-run — reports
         single-pass counts instead of accumulating across passes.  The
         header survives resets.
         """
         acc = self.accounting
-        acc.dropped = acc.filtered = acc.yielded = 0
+        acc.dropped = acc.filtered = acc.zero_runtime = acc.yielded = 0
 
         def generate() -> Iterator[SwfJob]:
-            with self.path.open(encoding="utf-8", errors="replace") as fh:
+            with open_swf(self.path) as fh:
                 yield from iter_swf_jobs(
                     fh, keep_failed=self.keep_failed, accounting=acc
                 )
@@ -290,7 +365,9 @@ def write_swf(
     SWF "unknown" marker ``-1``.  Non-integer values are written with
     ``repr`` (the shortest decimal that round-trips the float exactly), so
     reading the output back yields a bit-identical workload (round-trip
-    tested, including fractional submit/runtime values).
+    tested, including fractional submit/runtime values).  A *path* ending
+    in ``.gz`` is written gzip-compressed — the readers sniff the magic
+    bytes, so the round-trip holds for compressed files too.
     """
     buf = io.StringIO()
     meta = {"Computer": workload.name}
@@ -317,5 +394,13 @@ def write_swf(
         )
     text = buf.getvalue()
     if path is not None:
-        Path(path).write_text(text, encoding="utf-8")
+        path = Path(path)
+        if path.suffix == ".gz":
+            # mtime=0 keeps the compressed bytes a pure function of the
+            # workload (reproducible archives, content-addressable).
+            path.write_bytes(
+                gzip.compress(text.encode("utf-8"), mtime=0)
+            )
+        else:
+            path.write_text(text, encoding="utf-8")
     return text

@@ -19,6 +19,7 @@ class TestParser:
             "simulate",
             "evaluate",
             "table4",
+            "fetch",
             "figures",
             "trace",
             "info",
@@ -73,6 +74,18 @@ class TestSimulate:
         repro.write_swf(wl, path)
         assert main(["simulate", "--swf", str(path), "--policy", "SPT"]) == 0
         assert "jobs=50" in capsys.readouterr().out
+
+    def test_headerless_swf_names_missing_header_and_override(self, tmp_path):
+        headerless = tmp_path / "nohdr.swf"
+        headerless.write_text(
+            "1 0 0 10 1 -1 -1 1 10 -1 1\n2 1 0 10 1 -1 -1 1 10 -1 1\n"
+        )
+        with pytest.raises(SystemExit, match="MaxProcs"):
+            main(["simulate", "--swf", str(headerless)])
+        with pytest.raises(SystemExit, match="--nmax"):
+            main(["simulate", "--swf", str(headerless)])
+        # the override fixes it
+        assert main(["simulate", "--swf", str(headerless), "--nmax", "4"]) == 0
 
 
 class TestTrace:

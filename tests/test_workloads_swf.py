@@ -1,14 +1,18 @@
 """Tests for SWF parsing and serialisation."""
 
+import gzip
+
 import numpy as np
 import pytest
 
 from repro.sim.job import Workload
 from repro.workloads.lublin import lublin_workload
 from repro.workloads.swf import (
+    ZERO_RUNTIME_EPSILON,
     SwfAccounting,
     SwfStream,
     iter_swf_jobs,
+    open_swf,
     parse_swf_text,
     read_swf,
     write_swf,
@@ -107,6 +111,117 @@ class TestParse:
     def test_blank_lines_ignored(self):
         wl = parse_swf_text("\n\n" + SAMPLE + "\n\n")
         assert len(wl) == 2
+
+
+class TestZeroRuntime:
+    """Completed sub-second jobs (runtime recorded as 0 — common in raw
+    PWA traces) must be clamped and kept, not silently dropped."""
+
+    COMPLETED_ZERO = "7 40 3 0 4 -1 -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1"
+    FAILED_ZERO = "8 50 3 0 4 -1 -1 4 600 -1 0 -1 -1 -1 -1 -1 -1 -1"
+
+    def test_completed_zero_runtime_kept_and_clamped(self):
+        wl = parse_swf_text(self.COMPLETED_ZERO + "\n")
+        assert len(wl) == 1
+        assert wl.runtime[0] == ZERO_RUNTIME_EPSILON
+        assert wl.extra["zero_runtime"] == 1
+        assert wl.extra["dropped"] == 0
+
+    def test_failed_zero_runtime_still_dropped(self):
+        wl = parse_swf_text(self.FAILED_ZERO + "\n")
+        assert len(wl) == 0
+        assert wl.extra["dropped"] == 1
+        assert wl.extra["zero_runtime"] == 0
+
+    def test_negative_runtime_never_clamped(self):
+        wl = parse_swf_text(self.COMPLETED_ZERO.replace(" 3 0 ", " 3 -1 ") + "\n")
+        assert len(wl) == 0
+        assert wl.extra["dropped"] == 1
+
+    def test_estimate_fallback_uses_clamped_runtime(self):
+        # req time -1 -> estimate falls back to the *clamped* runtime.
+        line = self.COMPLETED_ZERO.replace(" 600 ", " -1 ")
+        wl = parse_swf_text(line + "\n")
+        assert wl.estimate[0] == max(ZERO_RUNTIME_EPSILON, 1.0)
+
+    def test_sample_without_zero_runtime_reports_zero(self):
+        assert parse_swf_text(SAMPLE).extra["zero_runtime"] == 0
+
+    def test_stream_accounting_matches_batch(self, tmp_path):
+        text = SAMPLE + self.COMPLETED_ZERO + "\n" + self.FAILED_ZERO + "\n"
+        path = tmp_path / "zero.swf"
+        path.write_text(text)
+        stream = SwfStream(path)
+        jobs = list(stream.jobs())
+        wl = parse_swf_text(text)
+        assert len(jobs) == len(wl) == 3
+        assert stream.accounting.zero_runtime == wl.extra["zero_runtime"] == 1
+        # a second pass resets instead of accumulating
+        list(stream.jobs())
+        assert stream.accounting.zero_runtime == 1
+
+
+class TestGzip:
+    """Raw PWA downloads are .swf.gz: every reader must sniff the gzip
+    magic bytes and decompress transparently."""
+
+    def test_read_swf_gz_matches_plain(self, tmp_path):
+        gz = tmp_path / "sample.swf.gz"
+        gz.write_bytes(gzip.compress(SAMPLE.encode()))
+        plain = parse_swf_text(SAMPLE)
+        back = read_swf(gz)
+        assert len(back) == len(plain)
+        np.testing.assert_array_equal(back.submit, plain.submit)
+        np.testing.assert_array_equal(back.runtime, plain.runtime)
+        assert back.nmax == plain.nmax == 128
+
+    def test_magic_bytes_not_extension_decide(self, tmp_path):
+        # gzip content behind a plain .swf name still opens
+        disguised = tmp_path / "disguised.swf"
+        disguised.write_bytes(gzip.compress(SAMPLE.encode()))
+        assert len(read_swf(disguised)) == 2
+
+    def test_swf_stream_on_gz(self, tmp_path):
+        gz = tmp_path / "fixture.swf.gz"
+        gz.write_bytes(gzip.compress(open(FIXTURE, "rb").read()))
+        stream = SwfStream(gz)
+        assert stream.name == "CTC SP2"
+        assert stream.machine_size == 338
+        jobs = list(stream.jobs())
+        assert len(jobs) == len(read_swf(FIXTURE))
+
+    def test_gz_name_fallback_strips_both_suffixes(self, tmp_path):
+        gz = tmp_path / "anon.swf.gz"
+        gz.write_bytes(
+            gzip.compress(b"1 0 -1 10 2 -1 -1 2 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+        )
+        assert SwfStream(gz).name == "anon"
+        assert read_swf(gz).name == "anon"
+
+    def test_open_swf_plain_text(self, tmp_path):
+        p = tmp_path / "plain.swf"
+        p.write_text(SAMPLE)
+        with open_swf(p) as fh:
+            assert fh.readline().startswith(";")
+
+    def test_write_swf_gz_round_trip(self, tmp_path):
+        wl = lublin_workload(50, nmax=64, seed=9)
+        gz = tmp_path / "out.swf.gz"
+        write_swf(wl, gz)
+        assert gz.read_bytes()[:2] == b"\x1f\x8b"
+        back = read_swf(gz)
+        np.testing.assert_array_equal(back.submit, wl.submit)
+        np.testing.assert_array_equal(back.runtime, wl.runtime)
+        np.testing.assert_array_equal(back.estimate, wl.estimate)
+        np.testing.assert_array_equal(back.size, wl.size)
+        assert back.nmax == 64
+
+    def test_write_swf_gz_is_deterministic(self, tmp_path):
+        wl = lublin_workload(10, nmax=16, seed=3)
+        a, b = tmp_path / "a.swf.gz", tmp_path / "b.swf.gz"
+        write_swf(wl, a)
+        write_swf(wl, b)
+        assert a.read_bytes() == b.read_bytes()
 
 
 class TestWrite:
