@@ -7,6 +7,13 @@ guarantee of bit-identical results.  This bench measures the speedup at
 curve.  Expect >1.5x at 4 workers on a >=4-core machine; on fewer cores
 the curve flattens at the core count (the determinism assertion still
 exercises the full fan-out path).
+
+Each point also decomposes where the wall time went using the runtime's
+telemetry: in-worker compute (the ``runtime.chunk`` timer the workers
+report back) versus dispatch overhead (``runtime.shard.overhead`` —
+process spawn, argument pickling and queueing, i.e. parent-observed
+shard latency minus in-worker compute).  The serial point runs in
+process, so its overhead column is structurally zero.
 """
 
 import os
@@ -15,6 +22,7 @@ import time
 import numpy as np
 
 from repro.core.pipeline import PipelineConfig, build_distribution
+from repro.obs import MetricsRegistry, current_registry, use_registry
 
 from conftest import BENCH_SEED, run_once
 
@@ -24,10 +32,21 @@ WORKER_COUNTS = (1, 2, 4, 8)
 def _sweep(config):
     timings = {}
     baseline = None
+    ambient = current_registry()
     for workers in WORKER_COUNTS:
+        # A fresh registry per point keeps the decomposition per worker
+        # count; the totals still merge into the ambient bench registry
+        # (and so into BENCH_runtime_scaling.json).
+        registry = MetricsRegistry()
         start = time.perf_counter()
-        _, results, dist = build_distribution(config, workers=workers)
-        timings[workers] = time.perf_counter() - start
+        with use_registry(registry):
+            _, results, dist = build_distribution(config, workers=workers)
+        timings[workers] = (
+            time.perf_counter() - start,
+            registry.timer_seconds("runtime.chunk"),
+            registry.timer_seconds("runtime.shard.overhead"),
+        )
+        ambient.merge(registry)
         if baseline is None:
             baseline = dist
         else:
@@ -44,16 +63,24 @@ def bench_runtime_scaling(benchmark, record, scale):
         seed=BENCH_SEED,
     )
     timings = run_once(benchmark, _sweep, config)
-    serial = timings[1]
+    serial = timings[1][0]
     lines = [
         f"cores available: {os.cpu_count()}",
         f"config: n_tuples={config.n_tuples} "
         f"trials_per_tuple={config.trials_per_tuple}",
-        "workers  seconds  speedup",
+        "workers  seconds  speedup  compute  overhead",
     ]
     extra = {}
-    for workers, seconds in timings.items():
+    for workers, (seconds, compute, overhead) in timings.items():
         speedup = serial / seconds if seconds > 0 else float("inf")
-        lines.append(f"{workers:>7d}  {seconds:>7.2f}  {speedup:>6.2f}x")
+        lines.append(
+            f"{workers:>7d}  {seconds:>7.2f}  {speedup:>6.2f}x"
+            f"  {compute:>7.2f}  {overhead:>8.2f}"
+        )
         extra[f"speedup_{workers}"] = round(speedup, 3)
+        extra[f"overhead_{workers}"] = round(overhead, 3)
+    lines.append(
+        "compute = in-worker runtime.chunk seconds;"
+        " overhead = spawn + pickle + queueing (runtime.shard.overhead)"
+    )
     record("\n".join(lines), extra=extra)

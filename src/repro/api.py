@@ -432,11 +432,11 @@ def _run_sweep(
             progress("sweep", i, len(points))
         # Cache-counter deltas around the child give uniform accounting
         # (every cacheable layer routes through the shared ArtifactCache).
-        before = (cache.hits, cache.misses) if cache is not None else (0, 0)
+        snapshot = cache.metrics.delta() if cache is not None else None
         result = run(child, workers=workers, cache=cache, progress=progress)
-        if cache is not None:
-            n_cached = cache.hits - before[0]
-            n_simulated = cache.misses - before[1]
+        if snapshot is not None:
+            n_cached = int(snapshot.value("cache.hits"))
+            n_simulated = int(snapshot.value("cache.misses"))
         else:
             n_simulated, n_cached = _fallback_accounting(child, result)
         cells.append(

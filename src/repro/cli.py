@@ -13,6 +13,7 @@ Mirrors the three artifact workflows plus convenience commands::
     repro-sched trace      # emit a synthetic trace stand-in as SWF
     repro-sched analyze    # characterise a workload / policy agreement
     repro-sched info       # library / scale / policy inventory
+    repro-sched stats      # render a run's telemetry manifest
 
 Every experiment verb (``train`` / ``simulate`` / ``evaluate`` /
 ``table4``) is a thin adapter: it builds the matching
@@ -26,8 +27,11 @@ produce byte-identical reports.  Shared flag handling lives in
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 import warnings
+from pathlib import Path
 
 import numpy as np
 
@@ -36,12 +40,24 @@ from repro import api
 from repro.cli_options import (
     add_cache_arg,
     add_scale_arg,
+    add_telemetry_arg,
     add_workers_arg,
     bootstrap_type,
     ci_level_type,
     split_csv,
+    telemetry_dir_from,
     trace_source_type,
     workers_from,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_manifest,
+    read_manifest,
+    render_manifest,
+    use_registry,
+    use_tracer,
+    write_manifest,
 )
 from repro.eval import (
     BACKFILL_TOKENS,
@@ -59,6 +75,7 @@ from repro.experiments.report import render_comparison, render_statistics
 from repro.experiments.scale import SCALES, current_scale, get_scale
 from repro.experiments.table4 import row_ids
 from repro.policies.registry import available_policies, get_policy
+from repro.runtime.cache import coerce_cache
 from repro.specs import (
     EvaluateSpec,
     SimulateSpec,
@@ -127,23 +144,77 @@ def _progress_for(spec: Spec):
 
 
 def _dispatch(spec: Spec, args: argparse.Namespace, *, command: str) -> int:
-    """Run *spec* through the facade and emit its result."""
+    """Run *spec* through the facade and emit its result.
+
+    With ``--telemetry`` the same execution path runs inside an ambient
+    :class:`~repro.obs.MetricsRegistry` and :class:`~repro.obs.Tracer`
+    and a run manifest is written afterwards; the spec, its results and
+    every report byte are identical either way (the telemetry notice
+    goes to stderr).
+    """
     if isinstance(spec, EvaluateSpec) and spec.trace is None:
         print(
             f"no trace given: using synthetic stand-in {spec.synthetic!r}"
             f" ({spec.jobs} jobs)",
             file=sys.stderr,
         )
-    try:
-        result = api.run(
-            spec,
-            workers=workers_from(args),
-            cache=getattr(args, "cache", None),
-            progress=_progress_for(spec),
-        )
-    except (SpecError, KeyError, ValueError) as exc:
-        raise SystemExit(f"repro-sched {command}: {exc}") from None
-    _EMITTERS[spec.kind](spec, result, args)
+    workers = workers_from(args)
+    telemetry_dir = telemetry_dir_from(args)
+    if telemetry_dir is None:
+        try:
+            result = api.run(
+                spec,
+                workers=workers,
+                cache=getattr(args, "cache", None),
+                progress=_progress_for(spec),
+            )
+        except (SpecError, KeyError, ValueError) as exc:
+            raise SystemExit(f"repro-sched {command}: {exc}") from None
+        _EMITTERS[spec.kind](spec, result, args)
+        return 0
+
+    # Instrumented path: same facade call, ambient sinks installed.  The
+    # cache is coerced *here* so its per-instance counters can be merged
+    # into the manifest after the run.
+    cache = coerce_cache(getattr(args, "cache", None))
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    t_start = time.perf_counter()
+    with use_registry(registry), use_tracer(tracer):
+        try:
+            with tracer.span("execute", kind=spec.kind):
+                result = api.run(
+                    spec, workers=workers, cache=cache, progress=_progress_for(spec)
+                )
+        except (SpecError, KeyError, ValueError) as exc:
+            raise SystemExit(f"repro-sched {command}: {exc}") from None
+        with tracer.span("report"):
+            _EMITTERS[spec.kind](spec, result, args)
+    wall = time.perf_counter() - t_start
+    if cache is not None:
+        registry.merge(cache.metrics)
+    directory = Path(telemetry_dir)
+    manifest_path = write_manifest(
+        directory,
+        build_manifest(
+            registry=registry,
+            tracer=tracer,
+            spec=spec,
+            command=command,
+            workers=workers,
+            wall_seconds=wall,
+        ),
+    )
+    tracer.write_jsonl(directory / "spans.jsonl")
+    (directory / "metrics.json").write_text(
+        json.dumps(registry.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"telemetry written to {manifest_path}"
+        f" (inspect with `repro-sched stats {directory}`)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -344,10 +415,12 @@ def _cmd_table4(args: argparse.Namespace) -> int:
         )
     except SpecError as exc:
         raise SystemExit(f"repro-sched table4: {exc}") from None
-    if workers_from(args) == 1:
+    if workers_from(args) == 1 and telemetry_dir_from(args) is None:
         # Serial: run one single-row spec at a time so a long regeneration
         # shows results (and survives interruption) row by row — same
-        # results, still routed through the facade.
+        # results, still routed through the facade.  With --telemetry the
+        # rows run as one dispatch so the run gets one manifest covering
+        # all of them (the results are identical either way).
         for rid in spec.resolved_rows():
             row_spec = Table4Spec(rows=(rid,), scale=args.scale, seed=args.seed)
             code = _dispatch(row_spec, args, command="table4")
@@ -497,6 +570,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for i, name in enumerate(names):
             row = "".join(f"{mat[i, j]:>7.2f}" for j in range(len(names)))
             print(f"{name:>7s} {row}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        doc = read_manifest(args.run_dir)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        raise SystemExit(f"repro-sched stats: {exc}") from None
+    print(render_manifest(doc))
     return 0
 
 
@@ -687,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_cache_arg(p, "every cell")
     add_workers_arg(p)
+    add_telemetry_arg(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("table4", help="regenerate Table 4 rows")
@@ -695,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="ASCII boxplots")
     add_workers_arg(p)
     add_scale_arg(p)
+    add_telemetry_arg(p)
     p.set_defaults(func=_cmd_table4)
 
     p = sub.add_parser(
@@ -713,6 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="table4 specs: ASCII boxplots")
     add_cache_arg(p, "every cached artifact")
     add_workers_arg(p)
+    add_telemetry_arg(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -726,6 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-dir", help="write sweep_summary.csv here")
     add_cache_arg(p, "every grid cell already covered")
     add_workers_arg(p)
+    add_telemetry_arg(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -795,6 +881,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the Kendall-tau agreement matrix of these policies",
     )
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "stats",
+        help="render a run's telemetry manifest",
+        description="Render the run_manifest.json a --telemetry run wrote:"
+        " phase durations, cache hit/miss/byte accounting, jobs and events"
+        " simulated, throughput and the cumulative timer table.",
+    )
+    p.add_argument(
+        "run_dir",
+        metavar="RUN_DIR",
+        help="telemetry directory (or a run_manifest.json path)",
+    )
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("info", help="library inventory")
     p.set_defaults(func=_cmd_info)

@@ -28,11 +28,13 @@ from repro.runtime import resolve_workers
 __all__ = [
     "add_cache_arg",
     "add_scale_arg",
+    "add_telemetry_arg",
     "add_workers_arg",
     "bootstrap_type",
     "cache_dir_type",
     "ci_level_type",
     "split_csv",
+    "telemetry_dir_from",
     "trace_source_type",
     "workers_from",
     "workers_type",
@@ -133,6 +135,27 @@ def add_cache_arg(p: argparse.ArgumentParser, what: str) -> None:
     )
 
 
+def add_telemetry_arg(p: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--telemetry`` flag.
+
+    ``--telemetry`` alone writes next to ``--output-dir`` (or into
+    ``./telemetry``); ``--telemetry DIR`` chooses the directory.  The
+    empty-string ``const`` is the "flag given, no directory" sentinel
+    that :func:`telemetry_dir_from` resolves.
+    """
+    p.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="collect metrics/spans and write run_manifest.json,"
+        " metrics.json and spans.jsonl (default DIR: --output-dir if"
+        " given, else ./telemetry); never changes any result or report"
+        " byte — inspect with `repro-sched stats DIR`",
+    )
+
+
 def add_scale_arg(p: argparse.ArgumentParser) -> None:
     """Attach the standard ``--scale`` preset flag."""
     p.add_argument(
@@ -146,6 +169,21 @@ def add_scale_arg(p: argparse.ArgumentParser) -> None:
 # ----------------------------------------------------------------------
 # environment resolution
 # ----------------------------------------------------------------------
+def telemetry_dir_from(args: argparse.Namespace) -> str | None:
+    """The telemetry output directory, or ``None`` when not requested.
+
+    Resolution order for a bare ``--telemetry``: the verb's
+    ``--output-dir`` (reports and manifest side by side), else
+    ``./telemetry``.
+    """
+    value = getattr(args, "telemetry", None)
+    if value is None:
+        return None
+    if value:
+        return value
+    return getattr(args, "output_dir", None) or "telemetry"
+
+
 def workers_from(args: argparse.Namespace) -> int:
     """``--workers`` if given, else the ``$REPRO_WORKERS`` default."""
     workers = getattr(args, "workers", None)

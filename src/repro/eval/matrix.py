@@ -40,6 +40,8 @@ from functools import cached_property
 import numpy as np
 
 from repro.eval.windows import Window, slice_windows
+from repro.obs.metrics import current_registry
+from repro.obs.tracing import span
 from repro.policies.registry import get_policy
 from repro.runtime import ArtifactCache, ExecutorConfig, TrialRunner, coerce_cache
 from repro.runtime.progress import ProgressCallback
@@ -198,7 +200,17 @@ class _CellTask:
 
 
 def _simulate_cell(task: _CellTask) -> CellResult:
-    """Simulate one matrix cell (module-level: pool-picklable)."""
+    """Simulate one matrix cell (module-level: pool-picklable).
+
+    The ``eval.cell`` timer is per *cell* (one whole window simulation),
+    recorded into whatever registry is ambient — the worker chunk's when
+    fanned out, the run's when serial, the null registry otherwise.
+    """
+    with current_registry().timer("eval.cell"):
+        return _simulate_cell_inner(task)
+
+
+def _simulate_cell_inner(task: _CellTask) -> CellResult:
     wl = Workload(
         submit=task.submit,
         runtime=task.runtime,
@@ -415,15 +427,18 @@ def run_matrix(
             trace_name=trace_name,
         )
     workload = source
+    registry = current_registry()
     nmax = _resolve_nmax(config, workload.nmax)
     workload.validate_for_machine(nmax)
-    windows = slice_windows(
-        workload,
-        jobs=config.window_jobs,
-        seconds=config.window_seconds,
-        warmup=config.warmup,
-        max_windows=config.max_windows,
-    )
+    with registry.timer("eval.slice"):
+        windows = slice_windows(
+            workload,
+            jobs=config.window_jobs,
+            seconds=config.window_seconds,
+            warmup=config.warmup,
+            max_windows=config.max_windows,
+        )
+    registry.inc("eval.windows.materialized", len(windows))
     if not windows:
         raise ValueError(
             "no evaluation windows survived slicing; enlarge the window or"
@@ -461,13 +476,18 @@ def run_matrix(
                 continue
         todo.append(k)
 
+    registry.inc("eval.cells.cached", len(axes) - len(todo))
+    registry.inc("eval.cells.simulated", len(todo))
     if todo:
         tasks = [
             _cell_task_for(axes[k][0], axes[k][1], axes[k][2], config, nmax, seeds[k])
             for k in todo
         ]
         runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
-        fresh = runner.map(_simulate_cell, tasks, progress=progress, phase="cells")
+        with span("eval.dispatch", cells=len(todo)):
+            fresh = runner.map(
+                _simulate_cell, tasks, progress=progress, phase="cells"
+            )
         for k, cell in zip(todo, fresh):
             slots[k] = cell
             if store is not None:
@@ -531,6 +551,7 @@ def _run_matrix_streaming(
     window at a time and simulates zero cells.
     """
     store = coerce_cache(cache)
+    registry = current_registry()
     runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
     # Children of the config seed, spawned on demand in cell order.
     seed_root = np.random.SeedSequence(config.seed)
@@ -551,12 +572,14 @@ def _run_matrix_streaming(
         nonlocal n_simulated
         if not pending:
             return
-        fresh = runner.map(
-            _simulate_cell,
-            [task for _, task, _ in pending],
-            progress=progress,
-            phase="cells",
-        )
+        registry.inc("eval.cells.simulated", len(pending))
+        with span("eval.dispatch", cells=len(pending)):
+            fresh = runner.map(
+                _simulate_cell,
+                [task for _, task, _ in pending],
+                progress=progress,
+                phase="cells",
+            )
         for (slot, _, key), cell in zip(pending, fresh):
             cells[slot] = cell
             if store is not None and key is not None:
@@ -570,6 +593,7 @@ def _run_matrix_streaming(
             if name is None:
                 name = _WINDOW_SUFFIX.sub("", window.workload.name)
         window.workload.validate_for_machine(nmax)
+        registry.inc("eval.windows.streamed")
         n_windows += 1
         for policy in config.policies:
             for backfill in config.backfill:
@@ -581,6 +605,7 @@ def _run_matrix_streaming(
                     entry = store.load_json(key)
                     hit = CellResult.from_entry(entry) if entry is not None else None
                     if hit is not None:
+                        registry.inc("eval.cells.cached")
                         cells.append(replace(hit, window=window.index, seed=seed))
                         continue
                 cells.append(None)

@@ -1,0 +1,198 @@
+"""Nested wall-time spans with JSONL export.
+
+A *span* is one timed block with a name and attributes::
+
+    with span("eval.cell", policy="f1", window=3):
+        ...
+
+Spans nest into an in-memory tree on the ambient :class:`Tracer`
+(installed with :func:`use_tracer`; the default is a no-op
+:data:`NULL_TRACER`, so instrumentation can stay in the code
+unconditionally).  The tree exports as JSON Lines — one object per
+span, depth-first, each carrying ``id``/``parent`` so the tree can be
+rebuilt — and :meth:`Tracer.phase_seconds` aggregates top-level spans
+into the per-phase durations the run manifest records.
+
+Spans are parent-process-only: worker processes report through the
+:mod:`repro.obs.metrics` registry channel instead (shipping a span tree
+across a pickle boundary would cost more than it tells).  Like metrics,
+spans never feed back into results, cache keys or RNG draws.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "use_tracer",
+]
+
+
+class Span:
+    """One node of the span tree."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name: str, attrs: dict, start: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: float | None = None
+        self.children: list["Span"] = []
+
+    @property
+    def seconds(self) -> float:
+        """Wall time of the span (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self, span_id: int, parent: int | None) -> dict:
+        return {
+            "id": span_id,
+            "parent": parent,
+            "name": self.name,
+            "seconds": self.seconds,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects a tree of spans against a monotonic clock.
+
+    ``now=`` injection makes durations deterministic in tests.  The
+    tracer is thread-confined by design: spans record the main
+    process's phase structure (worker wall time arrives via metrics).
+    """
+
+    def __init__(self, now: Callable[[], float] = time.perf_counter) -> None:
+        self._now = now
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans actually record (``False`` only for null)."""
+        return True
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a child span of the innermost open span."""
+        node = Span(name, attrs, self._now())
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            node.end = self._now()
+            self._stack.pop()
+
+    # -- aggregation and export ----------------------------------------
+    def phase_seconds(self) -> dict[str, float]:
+        """Total wall seconds per *top-level* span name.
+
+        Multiple top-level spans with one name (e.g. per-row table4
+        dispatches) sum; nested spans are deliberately excluded so the
+        phases partition the run instead of double-counting.
+        """
+        out: dict[str, float] = {}
+        for root in self.roots:
+            out[root.name] = out.get(root.name, 0.0) + root.seconds
+        return out
+
+    def to_records(self) -> list[dict]:
+        """Depth-first flattening, each record with ``id``/``parent``."""
+        records: list[dict] = []
+
+        def walk(node: Span, parent: int | None) -> None:
+            span_id = len(records)
+            records.append(node.to_dict(span_id, parent))
+            for child in node.children:
+                walk(child, span_id)
+
+        for root in self.roots:
+            walk(root, None)
+        return records
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span, depth-first (JSON Lines)."""
+        return "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.to_records()
+        )
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the JSONL export to *path* (parent dirs created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+
+class _NullSpanContext:
+    """Shared no-op span context."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """The disabled path: spans cost one method call and record nothing."""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs):  # type: ignore[override]
+        return _NULL_SPAN
+
+
+#: The ambient default: spans recorded into it vanish.
+NULL_TRACER = NullTracer()
+
+_current: Tracer = NULL_TRACER
+_current_lock = threading.Lock()
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer (:data:`NULL_TRACER` unless one is in use)."""
+    return _current
+
+
+def span(name: str, **attrs):
+    """Open a span on the ambient tracer (no-op without one in use)."""
+    return _current.span(name, **attrs)
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install *tracer* as the ambient span sink for the enclosed block."""
+    global _current
+    with _current_lock:
+        previous = _current
+        _current = tracer
+    try:
+        yield tracer
+    finally:
+        with _current_lock:
+            _current = previous

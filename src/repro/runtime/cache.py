@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.core.datastore import load_trial_artifact, save_trial_artifact
 from repro.core.distribution import ScoreDistribution
 from repro.core.trials import TrialScoreResult
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ArtifactCache", "coerce_cache", "config_fingerprint"]
 
@@ -60,13 +61,47 @@ def coerce_cache(
 
 
 class ArtifactCache:
-    """config-hash -> (trial results, pooled distribution) store."""
+    """config-hash -> (trial results, pooled distribution) store.
 
-    def __init__(self, directory: str | Path) -> None:
+    Hit/miss/byte accounting lives in a per-instance
+    :class:`~repro.obs.metrics.MetricsRegistry` (``cache.hits``,
+    ``cache.misses``, ``cache.bytes_stored``, ``cache.bytes_loaded``);
+    the historical ``hits`` / ``misses`` integer attributes remain as
+    read-only properties, and
+    :meth:`~repro.obs.metrics.MetricsRegistry.delta` snapshots replace
+    the old before/after tuple bookkeeping at call sites.  Accounting is
+    observation only: it never enters a key or a stored artifact.
+    """
+
+    def __init__(
+        self, directory: str | Path, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.root = Path(directory)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def hits(self) -> int:
+        """Entries served from disk so far (both npz and JSON)."""
+        return int(self.metrics.value("cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing usable so far."""
+        return int(self.metrics.value("cache.misses"))
+
+    def _record_loaded(self, path: Path) -> None:
+        self.metrics.inc("cache.hits")
+        try:
+            self.metrics.inc("cache.bytes_loaded", path.stat().st_size)
+        except OSError:  # pragma: no cover - raced deletion
+            pass
+
+    def _record_stored(self, path: Path) -> None:
+        try:
+            self.metrics.inc("cache.bytes_stored", path.stat().st_size)
+        except OSError:  # pragma: no cover - raced deletion
+            pass
 
     @staticmethod
     def _check_key(key: str) -> str:
@@ -89,14 +124,14 @@ class ArtifactCache:
         """
         path = self.path_for(key)
         if not path.exists():
-            self.misses += 1
+            self.metrics.inc("cache.misses")
             return None
         try:
             entry = load_trial_artifact(path)
         except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
-            self.misses += 1
+            self.metrics.inc("cache.misses")
             return None
-        self.hits += 1
+        self._record_loaded(path)
         return entry
 
     def store(
@@ -106,7 +141,9 @@ class ArtifactCache:
         distribution: ScoreDistribution,
     ) -> Path:
         """Persist an entry for *key*, returning its path."""
-        return save_trial_artifact(self.path_for(key), results, distribution)
+        path = save_trial_artifact(self.path_for(key), results, distribution)
+        self._record_stored(path)
+        return path
 
     # ------------------------------------------------------------------
     # generic JSON entries (evaluation cells and other small artifacts)
@@ -124,14 +161,14 @@ class ArtifactCache:
         """
         path = self.json_path_for(key)
         if not path.exists():
-            self.misses += 1
+            self.metrics.inc("cache.misses")
             return None
         try:
             obj = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            self.misses += 1
+            self.metrics.inc("cache.misses")
             return None
-        self.hits += 1
+        self._record_loaded(path)
         return obj
 
     def store_json(self, key: str, obj: object) -> Path:
@@ -145,4 +182,5 @@ class ArtifactCache:
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        self._record_stored(path)
         return path

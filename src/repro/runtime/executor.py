@@ -22,6 +22,7 @@ Results are **bit-identical** for every ``(workers, chunk_size)``:
 from __future__ import annotations
 
 import multiprocessing
+import time
 import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
@@ -36,6 +37,7 @@ from repro.core.trials import (
     format_rounding_warning,
     run_trials,
 )
+from repro.obs.metrics import current_registry
 from repro.runtime.config import ExecutorConfig
 from repro.runtime.progress import ProgressAggregator, ProgressCallback
 from repro.runtime.sharding import plan_shards
@@ -76,22 +78,61 @@ class TrialRunner:
         """Dispatch shards over a pool; reassemble results by item index.
 
         ``submit_chunk(pool, shard)`` must return a future resolving to
-        ``[(index, result), ...]`` for that shard's items.  Completion
-        order only affects progress-reporting order.
+        ``((index, result) pairs, worker-metrics-or-None)`` for that
+        shard's items.  Completion order only affects progress-reporting
+        order — and, with telemetry enabled, which order worker metric
+        snapshots merge in, which cannot change the merged totals.
+
+        Telemetry (ambient registry, no-op by default): ``runtime.pool``
+        times the whole fan-out, ``runtime.shard.wall`` accumulates
+        parent-observed shard latency (submit to completion: spawn +
+        pickling + queueing + compute), ``runtime.shard.overhead`` its
+        excess over the worker-reported in-process ``runtime.chunk``
+        compute, and the ``runtime.worker_utilization`` gauge is the
+        pool's compute-seconds over its worker-seconds.
         """
+        registry = current_registry()
         slots: list = [None] * n_items
+        n_workers = min(self.config.n_workers, max(len(shards), 1))
+        t_pool = time.perf_counter()
+        compute_seconds = 0.0
         with self._pool(len(shards)) as pool:
-            futures = {submit_chunk(pool, shard): shard for shard in shards}
+            futures = {
+                submit_chunk(pool, shard): (shard, time.perf_counter())
+                for shard in shards
+            }
             try:
                 for future in as_completed(futures):
-                    for index, result in future.result():
+                    pairs, worker_metrics = future.result()
+                    shard, t_submit = futures[future]
+                    wall = time.perf_counter() - t_submit
+                    registry.add_time("runtime.shard.wall", wall)
+                    if worker_metrics is not None:
+                        registry.merge(worker_metrics)
+                        chunk = (
+                            worker_metrics.get("timers", {})
+                            .get("runtime.chunk", {})
+                            .get("seconds", 0.0)
+                        )
+                        compute_seconds += chunk
+                        registry.add_time(
+                            "runtime.shard.overhead", max(0.0, wall - chunk)
+                        )
+                    for index, result in pairs:
                         slots[index] = result
-                    aggregator.advance(len(futures[future]))
+                    aggregator.advance(len(shard))
             except BaseException:
                 # Don't let queued chunks run to completion behind a
                 # fatal error — surface it as soon as it happens.
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+        pool_seconds = time.perf_counter() - t_pool
+        registry.add_time("runtime.pool", pool_seconds)
+        if compute_seconds and pool_seconds > 0:
+            registry.set_gauge(
+                "runtime.worker_utilization",
+                compute_seconds / (pool_seconds * n_workers),
+            )
         return slots
 
     # ------------------------------------------------------------------
@@ -157,6 +198,7 @@ class TrialRunner:
 
         items = [(i, tup, seedseq) for i, (tup, seedseq) in enumerate(zip(tuples, seeds))]
         shards = plan_shards(n, self.config.chunk_for(n))
+        collect = current_registry().enabled
         slots = self._fan_out(
             n,
             shards,
@@ -167,6 +209,7 @@ class TrialRunner:
                 trials_per_tuple,
                 balanced,
                 tau,
+                collect,
             ),
             aggregator,
         )
@@ -210,12 +253,13 @@ class TrialRunner:
         indexed = list(enumerate(items))
         chunk = self.config.chunk_size if self.config.chunk_size is not None else 1
         shards = plan_shards(n, chunk)
+        collect = current_registry().enabled
         # No missing-slot guard here: None is a legitimate fn return value.
         return self._fan_out(
             n,
             shards,
             lambda pool, shard: pool.submit(
-                call_chunk, fn, [indexed[i] for i in shard]
+                call_chunk, fn, [indexed[i] for i in shard], collect
             ),
             aggregator,
         )

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.metrics import current_registry
 from repro.sim.backfill import easy_backfill
 from repro.sim.conservative import conservative_starts
 from repro.sim.cluster import Cluster
@@ -235,6 +236,7 @@ def simulate(
     started_count = 0
     now = float(subs[0])
     n_events = 0
+    n_backfill_passes = 0  # local tally; recorded once at the end
 
     def start_job(idx: int, at: float, via_backfill: bool) -> None:
         nonlocal started_count
@@ -256,11 +258,13 @@ def simulate(
     mode = config.backfill_mode
 
     def schedule_pass(at: float) -> None:
+        nonlocal n_backfill_passes
         if not queue.items:
             return
         order = priority_order(at)
         started: set[int] = set()
         if mode == "conservative":
+            n_backfill_passes += 1
             run_idx = list(expected_end)
             chosen = conservative_starts(
                 at,
@@ -286,6 +290,7 @@ def simulate(
             head = order[pos]
             cands = order[pos + 1 :]
             if cands:
+                n_backfill_passes += 1
                 run_idx = list(expected_end)
                 chosen = easy_backfill(
                     at,
@@ -331,5 +336,15 @@ def simulate(
                 ai += 1
 
         schedule_pass(now)
+
+    # Telemetry (no-op by default): one batch of counter increments per
+    # whole-workload simulation — never per event or per job — so the
+    # disabled path costs four null method calls for the entire run.
+    registry = current_registry()
+    registry.inc("sim.runs")
+    registry.inc("sim.events", n_events)
+    registry.inc("sim.jobs_completed", n)
+    registry.inc("sim.backfill_passes", n_backfill_passes)
+    registry.inc("sim.backfilled", int(backfilled.sum()))
 
     return ScheduleResult(workload, start, policy.name, config, backfilled, n_events)

@@ -24,6 +24,8 @@ import math
 
 import numpy as np
 
+from repro.obs.metrics import current_registry
+
 __all__ = ["simulate_fixed_priority"]
 
 
@@ -105,5 +107,12 @@ def simulate_fixed_priority(
             free -= sizes[idx]
             heapq.heappush(completions, (now + runs[idx], idx))
             remaining -= 1
+
+    # Telemetry (no-op by default): per *trial*, never per job — this is
+    # the training inner loop, so two null method calls per call is the
+    # entire disabled-path cost.
+    registry = current_registry()
+    registry.inc("listsched.trials")
+    registry.inc("listsched.jobs", m)
 
     return np.asarray(start, dtype=float)
