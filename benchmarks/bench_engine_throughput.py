@@ -58,3 +58,32 @@ def bench_trial_simulator(benchmark):
     priority = np.arange(48, dtype=float)
     out = benchmark(simulate_fixed_priority, submit, runtime, size, priority, 256)
     assert len(out) == 48
+
+
+def bench_trial_batch(benchmark):
+    """1024 permutation trials in one batched kernel call.
+
+    The training loop's real shape: per-call setup (arrival order,
+    scratch arena, ctypes crossing) is amortised over the whole batch,
+    so jobs/sec here — not ``bench_trial_simulator`` — is what bounds
+    training throughput.
+    """
+    import numpy as np
+
+    from repro.core.taskgen import generate_tuples
+    from repro.sim.listsched import simulate_fixed_priority_batch
+
+    n_trials = 1024
+    tup = generate_tuples(1, seed=0)[0]
+    submit = np.concatenate([tup.S.submit, tup.Q.submit])
+    runtime = np.concatenate([tup.S.runtime, tup.Q.runtime])
+    size = np.concatenate([tup.S.size, tup.Q.size])
+    rng = np.random.default_rng(0)
+    priorities = np.empty((n_trials, 48))
+    for t in range(n_trials):
+        priorities[t] = rng.permutation(48)
+    out = benchmark(
+        simulate_fixed_priority_batch, submit, runtime, size, priorities, 256
+    )
+    assert out.shape == (n_trials, 48)
+    benchmark.extra_info["jobs"] = n_trials * 48

@@ -14,7 +14,12 @@ this script compares each against the matching baseline in
 Hosted runners' absolute speed varies wildly, so by default the check is
 **warn-only**: regressions are reported (and annotated in the GitHub
 log) but the exit status stays 0.  Pass ``--strict`` to turn
-regressions into a non-zero exit for environments with stable hardware.
+regressions into a non-zero exit for environments with stable hardware,
+or ``--strict-bench PATTERN`` (repeatable, fnmatch on the bench name)
+to hard-gate only selected benches against the looser
+``--strict-threshold`` — the perf-smoke job uses this for the kernel
+benches, where losing the compiled fast path is a 10-100x cliff that a
+3x gate catches without flaking on runner noise.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from fnmatch import fnmatch
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -88,6 +94,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit non-zero on regressions instead of warning",
     )
+    parser.add_argument(
+        "--strict-bench",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="fnmatch pattern of bench names (e.g. 'engine_*') that are"
+        " hard-gated against --strict-threshold; repeatable",
+    )
+    parser.add_argument(
+        "--strict-threshold",
+        type=float,
+        default=3.0,
+        help="slowdown ratio that fails a --strict-bench match (default 3.0)",
+    )
     args = parser.parse_args(argv)
 
     baselines = sorted(args.baselines.glob("BENCH_*.json"))
@@ -95,14 +115,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no baselines under {args.baselines}; nothing to check")
         return 0
     n_regressions = 0
+    n_strict_failures = 0
     n_compared = 0
     for base_path in baselines:
         baseline = _load(base_path)
         if baseline is None:
             continue
+        bench_name = base_path.stem.removeprefix("BENCH_")
+        strict_gated = any(fnmatch(bench_name, pat) for pat in args.strict_bench)
         result_path = args.results / base_path.name
         if not result_path.is_file():
             print(f"warning: no fresh result for {base_path.name} (bench not run?)")
+            if strict_gated:
+                # A gated bench that silently stops running is itself a
+                # failure — otherwise the gate can be dodged by deletion.
+                print(f"::error title={base_path.stem}::strict-gated bench missing")
+                n_strict_failures += 1
             continue
         result = _load(result_path)
         if result is None:
@@ -112,8 +140,9 @@ def main(argv: list[str] | None = None) -> int:
         base_median = (baseline.get("stats") or {}).get("median") or 0
         new_median = (result.get("stats") or {}).get("median") or 0
         status = "REGRESSION" if findings else "ok"
+        gate = " [strict]" if strict_gated else ""
         print(
-            f"{base_path.stem}: {status}"
+            f"{base_path.stem}: {status}{gate}"
             f" (median {new_median * 1e3:.2f}ms vs baseline {base_median * 1e3:.2f}ms)"
         )
         for finding in findings:
@@ -121,10 +150,18 @@ def main(argv: list[str] | None = None) -> int:
             # ::warning:: renders as an annotation in GitHub Actions logs
             # and as a plain line everywhere else.
             print(f"::warning title={base_path.stem}::{finding}")
+        if strict_gated:
+            hard = compare(baseline, result, args.strict_threshold)
+            for finding in hard:
+                n_strict_failures += 1
+                print(f"::error title={base_path.stem}::{finding}")
     print(
         f"checked {n_compared}/{len(baselines)} baseline(s),"
-        f" {n_regressions} regression finding(s)"
+        f" {n_regressions} regression finding(s),"
+        f" {n_strict_failures} strict failure(s)"
     )
+    if n_strict_failures:
+        return 1
     if n_regressions and args.strict:
         return 1
     return 0

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI gate: the kernel path reproduces the legacy simulation loop's bytes.
+
+Runs the full evaluation matrix over the bundled ``tests/data/ctc_tiny.swf``
+fixture twice, in one process with fresh caches:
+
+1. through the production path — ``engine.simulate`` on the unified
+   event kernel (:mod:`repro.sim.kernel`); and
+2. with the engine replaced by the *frozen pre-kernel loop* kept under
+   ``tests/oracle_sim.py``;
+
+then byte-compares the resulting ``eval_matrix.json`` reports.  Any
+behavioural drift in the kernel — start times, backfill flags, event
+counts, seeding, window accounting — shows up as a byte difference.
+
+When a C toolchain is available the kernel run is additionally repeated
+with ``REPRO_SIM_KERNEL=c`` and ``=python`` and both must match, so the
+compiled backend is held to the same bar as the pure-Python loop.
+
+Usage: ``python scripts/check_kernel_parity.py`` (exit 0 on parity).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests"))
+
+TRACE = REPO / "tests" / "data" / "ctc_tiny.swf"
+EVALUATE_ARGS = [
+    "evaluate",
+    "--trace",
+    str(TRACE),
+    "--policies",
+    "fcfs,spt,f1",
+    "--backfill",
+    "none,easy,conservative",
+    "--window-jobs",
+    "50",
+    "--warmup",
+    "5",
+    "--workers",
+    "1",  # in-process so the oracle monkeypatch reaches every cell
+]
+
+
+def run_matrix_json(output_dir: Path, *, use_oracle: bool, backend: str) -> bytes:
+    import oracle_sim
+
+    import repro.eval.matrix as matrix_mod
+    import repro.sim.engine as engine_mod
+    from repro.cli import main
+
+    real = engine_mod.simulate
+    os.environ["REPRO_SIM_KERNEL"] = backend
+    if use_oracle:
+        matrix_mod.simulate = oracle_sim.oracle_schedule_result
+        engine_mod.simulate = oracle_sim.oracle_schedule_result
+    try:
+        with tempfile.TemporaryDirectory() as cache:
+            rc = main(
+                EVALUATE_ARGS
+                + ["--cache", cache, "--output-dir", str(output_dir)]
+            )
+    finally:
+        matrix_mod.simulate = real
+        engine_mod.simulate = real
+        os.environ.pop("REPRO_SIM_KERNEL", None)
+    if rc not in (0, None):
+        raise SystemExit(f"evaluate exited with {rc}")
+    return (output_dir / "eval_matrix.json").read_bytes()
+
+
+def main_check() -> int:
+    from repro.sim import _cbackend
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        oracle = run_matrix_json(
+            tmp_path / "oracle", use_oracle=True, backend="python"
+        )
+        runs = {"kernel[python]": run_matrix_json(
+            tmp_path / "kernel-py", use_oracle=False, backend="python"
+        )}
+        if _cbackend.load() is not None:
+            runs["kernel[c]"] = run_matrix_json(
+                tmp_path / "kernel-c", use_oracle=False, backend="c"
+            )
+        else:
+            print("note: no C toolchain; compiled backend not exercised")
+        failed = [name for name, data in runs.items() if data != oracle]
+        for name, data in runs.items():
+            status = "MATCH" if data == oracle else "DIFFERS"
+            print(f"{name}: {len(data)} bytes vs legacy loop -> {status}")
+    if failed:
+        print(f"kernel parity FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("kernel parity OK: eval_matrix.json byte-identical to the legacy loop")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_check())

@@ -17,7 +17,10 @@ The simulation phase dispatches through :mod:`repro.runtime`: pass
 ``workers`` to fan the per-tuple trials over a process pool (results are
 bit-identical to the serial run for any worker count), and ``cache`` to
 memoise the pooled distribution on disk keyed by a fingerprint of the
-result-relevant config fields.
+result-relevant config fields.  Inside each worker the trials
+themselves run as kernel batches
+(:func:`repro.sim.listsched.simulate_fixed_priority_batch`), so the
+per-trial Python loop no longer exists at any layer of the fan-out.
 """
 
 from __future__ import annotations

@@ -10,6 +10,24 @@ Scores receive the *processing time the scheduler knows* (``proc``): the
 actual runtime ``r`` in perfect-information experiments, the user estimate
 ``e`` otherwise.  The engine decides which one to pass — policies never
 look at both.
+
+Batch-scoring contract
+----------------------
+The simulation kernel (:mod:`repro.sim.kernel`) scores jobs in batches,
+so every policy's :meth:`Policy.scores` must be
+
+* **vectorised** — one array op over all queued jobs, never a Python
+  loop per job; and
+* **elementwise and batch-stable** — job ``i``'s score depends only on
+  job ``i``'s attributes (and ``now`` for dynamic policies), and the
+  *bits* of the score must not change with the composition of the batch
+  (numpy produces identical bits for full-array and sliced evaluation
+  of the elementwise ops used here).
+
+Static policies (``dynamic == False``) must additionally be
+**now-independent**: the kernel scores the entire workload in one call
+before the event loop starts instead of per arrival batch.  The whole
+registry is held to this contract by ``tests/test_policy_batch_contract.py``.
 """
 
 from __future__ import annotations

@@ -48,6 +48,11 @@ def run_trial_chunk(
     tuple sees is a function of its index alone — not of the chunk it
     landed in or the process that ran it.  Returns ``(pairs, metrics)``
     where *metrics* is the chunk's registry snapshot (or ``None``).
+
+    Per tuple, :func:`run_trials` hands all permutations to the
+    simulation kernel in batches (``simulate_fixed_priority_batch``),
+    so each worker process crosses into the compiled kernel a handful
+    of times per chunk rather than once per trial.
     """
     registry = MetricsRegistry() if collect_metrics else None
 

@@ -6,8 +6,17 @@ Public surface:
 * :func:`~repro.sim.engine.simulate` — online scheduling under a policy,
   with optional user estimates and EASY backfilling.
 * :func:`~repro.sim.listsched.simulate_fixed_priority` — the fixed-priority
-  trial simulator used by the training phase.
+  trial simulator used by the training phase (and its batched form,
+  :func:`~repro.sim.listsched.simulate_fixed_priority_batch`).
 * :mod:`~repro.sim.metrics` — bounded slowdown (Eq. 1/2) and friends.
+
+Both simulators are thin configurations of the unified event-heap
+kernel in :mod:`~repro.sim.kernel` (``REPRO_SIM_KERNEL`` selects the
+compiled or pure-Python backend; results are bit-identical).  The
+:mod:`~repro.sim.backfill`, :mod:`~repro.sim.conservative`,
+:mod:`~repro.sim.events` and :mod:`~repro.sim.cluster` modules remain
+the property-tested reference pieces the kernel's semantics are defined
+against.
 """
 
 from repro.sim.backfill import easy_backfill, shadow_schedule
@@ -23,7 +32,8 @@ from repro.sim.hetero import (
     hetero_simulate,
 )
 from repro.sim.job import Job, Workload, concat_workloads
-from repro.sim.listsched import simulate_fixed_priority
+from repro.sim.kernel import KernelResult, fixed_priority_batch, simulate_events
+from repro.sim.listsched import simulate_fixed_priority, simulate_fixed_priority_batch
 from repro.sim.timeline import (
     StepProfile,
     busy_cores_profile,
@@ -50,6 +60,7 @@ __all__ = [
     "HeteroPlatform",
     "HeteroResult",
     "Job",
+    "KernelResult",
     "ScheduleResult",
     "SimulationConfig",
     "Workload",
@@ -57,6 +68,7 @@ __all__ = [
     "bounded_slowdown",
     "concat_workloads",
     "easy_backfill",
+    "fixed_priority_batch",
     "hetero_simulate",
     "makespan",
     "per_job_flow",
@@ -68,7 +80,9 @@ __all__ = [
     "profile_average",
     "queue_length_profile",
     "simulate",
+    "simulate_events",
     "simulate_fixed_priority",
+    "simulate_fixed_priority_batch",
     "to_gantt_csv",
     "utilization",
     "waiting_times",

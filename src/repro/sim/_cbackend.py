@@ -1,0 +1,623 @@
+"""Compiled C fast path for the event-heap simulation kernel.
+
+:mod:`repro.sim.kernel` runs every *static-score* simulation — classic
+and learned policies, EASY/conservative backfilling, and the
+fixed-priority trial simulator — through one C event loop compiled at
+first use with the system C compiler and loaded via :mod:`ctypes`
+(stdlib only; no build-time or install-time dependency is added).  The
+C loop is a line-for-line transcription of the Python kernel: every
+floating-point operation it performs (additions, comparisons, the
+``1e-9``/``1e-12`` epsilons of the backfill helpers) exists identically
+in the Python path, so results are **bit-identical** — the parity suite
+(``tests/test_sim_kernel_parity.py``) enforces this against the frozen
+pre-kernel oracle for both backends.  Dynamic policies never reach C:
+their scores come from numpy ufunc kernels whose bit patterns a libm
+reimplementation cannot reproduce, so they stay on the vectorised
+Python path.
+
+Selection and caching:
+
+* ``REPRO_SIM_KERNEL`` — ``auto`` (default: use C when it builds,
+  silently fall back to Python), ``c`` (require the C backend; raise if
+  it cannot be built), ``python`` (never use C).
+* ``REPRO_CKERNEL_DIR`` — override the build cache directory (default
+  ``~/.cache/repro/ckernel``).  The shared object is keyed by a hash of
+  the embedded source, built in a temp file and atomically renamed, so
+  concurrent processes race benignly.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CBackendUnavailable", "requested_mode", "load", "cache_dir"]
+
+
+class CBackendUnavailable(RuntimeError):
+    """Raised when ``REPRO_SIM_KERNEL=c`` but no C backend can be built."""
+
+
+_C_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef int64_t i64;
+
+/* (expected-end, size) pairs for the backfill helpers; ordered like the
+ * Python tuples sorted((end, size)). */
+typedef struct { double t; i64 s; } Ev;
+
+static int ev_cmp(const void *a, const void *b)
+{
+    const Ev *x = (const Ev *)a, *y = (const Ev *)b;
+    if (x->t < y->t) return -1;
+    if (x->t > y->t) return 1;
+    if (x->s < y->s) return -1;
+    if (x->s > y->s) return 1;
+    return 0;
+}
+
+typedef struct {
+    i64 n, nmax;
+    int mode; /* 0 none, 1 easy, 2 conservative */
+    const double *subs, *runs, *procs, *scores;
+    const i64 *sizes, *order;
+    double *start;
+    unsigned char *backfilled;
+    /* completion min-heap ordered by (time, job) like heapq tuples */
+    double *h_t; i64 *h_i; i64 hn;
+    /* waiting queue kept sorted by (score, submit, job); qh = front */
+    double *q_s, *q_sub; i64 *q_i; i64 qh, qn;
+    /* running set, unordered with swap-removal (order never observable:
+     * both backfill helpers sort or sum over it) */
+    double *r_end; i64 *r_size, *r_job, *r_pos; i64 rn;
+    /* scratch: event pairs + availability-profile breakpoints */
+    Ev *ev; double *p_t; i64 *p_f; i64 pn;
+    i64 free_cores, started, n_events, n_passes;
+    double now;
+} Sim;
+
+static void h_push(Sim *S, double t, i64 idx)
+{
+    i64 i = S->hn++;
+    while (i > 0) {
+        i64 p = (i - 1) >> 1;
+        double pt = S->h_t[p];
+        if (pt < t || (pt == t && S->h_i[p] < idx)) break;
+        S->h_t[i] = pt; S->h_i[i] = S->h_i[p];
+        i = p;
+    }
+    S->h_t[i] = t; S->h_i[i] = idx;
+}
+
+static i64 h_pop(Sim *S)
+{
+    i64 top = S->h_i[0];
+    S->hn--;
+    if (S->hn > 0) {
+        double t = S->h_t[S->hn]; i64 idx = S->h_i[S->hn];
+        i64 i = 0;
+        for (;;) {
+            i64 c = 2 * i + 1;
+            if (c >= S->hn) break;
+            if (c + 1 < S->hn &&
+                (S->h_t[c + 1] < S->h_t[c] ||
+                 (S->h_t[c + 1] == S->h_t[c] && S->h_i[c + 1] < S->h_i[c])))
+                c++;
+            if (t < S->h_t[c] || (t == S->h_t[c] && idx < S->h_i[c])) break;
+            S->h_t[i] = S->h_t[c]; S->h_i[i] = S->h_i[c];
+            i = c;
+        }
+        S->h_t[i] = t; S->h_i[i] = idx;
+    }
+    return top;
+}
+
+/* bisect_left on (score, submit, job) keys — keys are unique (job is). */
+static void q_insert(Sim *S, i64 idx)
+{
+    double sc = S->scores[idx], sb = S->subs[idx];
+    i64 lo = S->qh, hi = S->qh + S->qn;
+    while (lo < hi) {
+        i64 mid = (lo + hi) >> 1;
+        int less;
+        if (S->q_s[mid] != sc) less = S->q_s[mid] < sc;
+        else if (S->q_sub[mid] != sb) less = S->q_sub[mid] < sb;
+        else less = S->q_i[mid] < idx;
+        if (less) lo = mid + 1; else hi = mid;
+    }
+    i64 end = S->qh + S->qn;
+    memmove(S->q_s + lo + 1, S->q_s + lo, (size_t)(end - lo) * sizeof(double));
+    memmove(S->q_sub + lo + 1, S->q_sub + lo, (size_t)(end - lo) * sizeof(double));
+    memmove(S->q_i + lo + 1, S->q_i + lo, (size_t)(end - lo) * sizeof(i64));
+    S->q_s[lo] = sc; S->q_sub[lo] = sb; S->q_i[lo] = idx;
+    S->qn++;
+}
+
+static void compact_queue(Sim *S)
+{
+    i64 w = S->qh, end = S->qh + S->qn;
+    for (i64 p = S->qh; p < end; p++) {
+        i64 idx = S->q_i[p];
+        if (!isnan(S->start[idx])) continue; /* started this pass */
+        S->q_s[w] = S->q_s[p]; S->q_sub[w] = S->q_sub[p]; S->q_i[w] = idx;
+        w++;
+    }
+    S->qn = w - S->qh;
+}
+
+static int start_job(Sim *S, i64 idx, int via_bf)
+{
+    i64 sz = S->sizes[idx];
+    if (sz > S->free_cores) return 2;
+    S->free_cores -= sz;
+    S->start[idx] = S->now;
+    S->backfilled[idx] = (unsigned char)via_bf;
+    h_push(S, S->now + S->runs[idx], idx);
+    if (S->mode != 0) {
+        S->r_end[S->rn] = S->now + S->procs[idx];
+        S->r_size[S->rn] = sz;
+        S->r_job[S->rn] = idx;
+        S->r_pos[idx] = S->rn;
+        S->rn++;
+    }
+    S->started++;
+    return 0;
+}
+
+static void complete(Sim *S, i64 idx)
+{
+    S->free_cores += S->sizes[idx];
+    if (S->mode != 0) {
+        i64 p = S->r_pos[idx], last = S->rn - 1;
+        if (p != last) {
+            S->r_end[p] = S->r_end[last];
+            S->r_size[p] = S->r_size[last];
+            S->r_job[p] = S->r_job[last];
+            S->r_pos[S->r_job[p]] = p;
+        }
+        S->rn--;
+    }
+}
+
+/* EASY: shadow reservation for the blocked head, then the greedy
+ * candidate scan — same arithmetic as repro.sim.backfill. */
+static int easy_pass(Sim *S)
+{
+    double now = S->now;
+    i64 head = S->q_i[S->qh];
+    i64 head_size = S->sizes[head];
+    S->n_passes++;
+    for (i64 k = 0; k < S->rn; k++) {
+        double e = S->r_end[k];
+        S->ev[k].t = (e < now) ? now : e;
+        S->ev[k].s = S->r_size[k];
+    }
+    qsort(S->ev, (size_t)S->rn, sizeof(Ev), ev_cmp);
+    i64 avail = S->free_cores, extra = 0;
+    double shadow = 0.0;
+    int found = 0;
+    for (i64 k = 0; k < S->rn; k++) {
+        avail += S->ev[k].s;
+        if (avail >= head_size) {
+            shadow = S->ev[k].t;
+            extra = avail - head_size;
+            found = 1;
+            break;
+        }
+    }
+    if (!found) return 3;
+    i64 end_pos = S->qh + S->qn, n_started = 0;
+    for (i64 p = S->qh + 1; p < end_pos; p++) {
+        i64 idx = S->q_i[p];
+        i64 sz = S->sizes[idx];
+        if (sz > S->free_cores) continue;
+        if (now + S->procs[idx] <= shadow + 1e-9) {
+            int rc = start_job(S, idx, 1);
+            if (rc) return rc;
+            n_started++;
+        } else if (sz <= extra) {
+            int rc = start_job(S, idx, 1);
+            if (rc) return rc;
+            extra -= sz;
+            n_started++;
+        }
+        if (S->free_cores == 0) break;
+    }
+    if (n_started) compact_queue(S);
+    return 0;
+}
+
+/* Availability-profile breakpoint insertion — mirrors
+ * AvailabilityProfile._ensure_breakpoint including its epsilons and its
+ * Python-negative-index level lookup for a front insertion. */
+static void ensure_bp(Sim *S, double t)
+{
+    if (isinf(t)) return;
+    i64 pn = S->pn;
+    for (i64 i = 0; i < pn; i++) {
+        if (fabs(S->p_t[i] - t) <= 1e-12) return;
+        if (S->p_t[i] > t) {
+            i64 level = (i == 0) ? S->p_f[pn - 1] : S->p_f[i - 1];
+            memmove(S->p_t + i + 1, S->p_t + i, (size_t)(pn - i) * sizeof(double));
+            memmove(S->p_f + i + 1, S->p_f + i, (size_t)(pn - i) * sizeof(i64));
+            S->p_t[i] = t; S->p_f[i] = level;
+            S->pn++;
+            return;
+        }
+    }
+    S->p_t[pn] = t;
+    S->p_f[pn] = S->nmax;
+    S->pn++;
+}
+
+static int conservative_pass(Sim *S)
+{
+    double now = S->now;
+    S->n_passes++;
+    i64 head = S->q_i[S->qh];
+    i64 used_now = 0;
+    for (i64 k = 0; k < S->rn; k++) {
+        double e = S->r_end[k];
+        S->ev[k].t = (e < now) ? now : e;
+        S->ev[k].s = S->r_size[k];
+        used_now += S->r_size[k];
+    }
+    if (used_now > S->nmax) return 4;
+    qsort(S->ev, (size_t)S->rn, sizeof(Ev), ev_cmp);
+    S->p_t[0] = now;
+    S->p_f[0] = S->nmax - used_now;
+    S->pn = 1;
+    i64 level = S->nmax - used_now;
+    for (i64 k = 0; k < S->rn; k++) {
+        level += S->ev[k].s;
+        /* merge bitwise-equal expected ends like the dict accumulation */
+        if (k + 1 < S->rn && S->ev[k + 1].t == S->ev[k].t) continue;
+        S->p_t[S->pn] = S->ev[k].t;
+        S->p_f[S->pn] = level;
+        S->pn++;
+    }
+    i64 end_pos = S->qh + S->qn, n_started = 0;
+    for (i64 p = S->qh; p < end_pos; p++) {
+        i64 idx = S->q_i[p];
+        i64 sz = S->sizes[idx];
+        double dur = S->procs[idx];
+        if (dur < 1e-9) dur = 1e-9;
+        double t0r = S->p_t[S->pn - 1];
+        for (i64 i = 0; i < S->pn; i++) {
+            if (S->p_f[i] < sz) continue;
+            double t0 = S->p_t[i];
+            double end = t0 + dur;
+            int feas = 1;
+            for (i64 j = i + 1; j < S->pn; j++) {
+                if (S->p_t[j] >= end - 1e-12) break;
+                if (S->p_f[j] < sz) { feas = 0; break; }
+            }
+            if (feas) { t0r = t0; break; }
+        }
+        double endr = t0r + dur;
+        ensure_bp(S, t0r);
+        ensure_bp(S, endr);
+        for (i64 i = 0; i < S->pn; i++) {
+            double t = S->p_t[i];
+            if (t0r - 1e-12 <= t && t < endr - 1e-12) {
+                S->p_f[i] -= sz;
+                if (S->p_f[i] < 0) return 4;
+            }
+        }
+        if (t0r <= now + 1e-9) {
+            int rc = start_job(S, idx, idx != head);
+            if (rc) return rc;
+            n_started++;
+        }
+    }
+    if (n_started) compact_queue(S);
+    return 0;
+}
+
+static int sim_run(Sim *S)
+{
+    i64 n = S->n, ai = 0;
+    S->hn = 0; S->qh = 0; S->qn = 0; S->rn = 0; S->pn = 0;
+    S->free_cores = S->nmax;
+    S->started = 0; S->n_events = 0; S->n_passes = 0;
+    for (i64 i = 0; i < n; i++) { S->start[i] = NAN; S->backfilled[i] = 0; }
+    double now = S->subs[S->order[0]];
+    while (S->started < n) {
+        double na = (ai < n) ? S->subs[S->order[ai]] : INFINITY;
+        double nc = (S->hn > 0) ? S->h_t[0] : INFINITY;
+        double et = (na < nc) ? na : nc;
+        if (now < et) now = et;
+        S->now = now;
+        S->n_events++;
+        while (S->hn > 0 && S->h_t[0] <= now) complete(S, h_pop(S));
+        while (ai < n && S->subs[S->order[ai]] <= now) {
+            q_insert(S, S->order[ai]);
+            ai++;
+        }
+        if (S->qn == 0) continue;
+        if (S->mode == 2) {
+            int rc = conservative_pass(S);
+            if (rc) return rc;
+            continue;
+        }
+        /* every job needs >= 1 core: a full machine cannot start anything,
+         * and skipping the pass changes no counters (n_events already
+         * counted; backfill passes require free > 0) */
+        if (S->free_cores == 0) continue;
+        while (S->qn > 0) {
+            i64 idx = S->q_i[S->qh];
+            if (S->sizes[idx] > S->free_cores) break;
+            int rc = start_job(S, idx, 0);
+            if (rc) return rc;
+            S->qh++;
+            S->qn--;
+        }
+        if (S->mode == 1 && S->qn >= 2 && S->free_cores > 0) {
+            int rc = easy_pass(S);
+            if (rc) return rc;
+        }
+    }
+    return 0;
+}
+
+int repro_sim(i64 n, i64 nmax, int mode,
+              const double *subs, const double *runs, const double *procs,
+              const i64 *sizes, const double *scores, const i64 *order,
+              double *start, unsigned char *backfilled, i64 *counters)
+{
+    counters[0] = 0;
+    counters[1] = 0;
+    if (n <= 0) return 0;
+    size_t nd = (size_t)n;
+    double *dbuf = (double *)malloc((nd + 4 * nd + nd + (3 * nd + 4)) * sizeof(double));
+    i64 *ibuf = (i64 *)malloc((nd + 2 * nd + 3 * nd + (3 * nd + 4)) * sizeof(i64));
+    Ev *ev = (Ev *)malloc(nd * sizeof(Ev));
+    if (!dbuf || !ibuf || !ev) {
+        free(dbuf); free(ibuf); free(ev);
+        return 1;
+    }
+    Sim S;
+    memset(&S, 0, sizeof(S));
+    S.n = n; S.nmax = nmax; S.mode = mode;
+    S.subs = subs; S.runs = runs; S.procs = procs;
+    S.sizes = sizes; S.scores = scores; S.order = order;
+    S.start = start; S.backfilled = backfilled;
+    S.h_t = dbuf;
+    S.q_s = dbuf + nd;
+    S.q_sub = dbuf + nd + 2 * nd;
+    S.r_end = dbuf + nd + 4 * nd;
+    S.p_t = dbuf + nd + 4 * nd + nd;
+    S.h_i = ibuf;
+    S.q_i = ibuf + nd;
+    S.r_size = ibuf + nd + 2 * nd;
+    S.r_job = ibuf + nd + 3 * nd;
+    S.r_pos = ibuf + nd + 4 * nd;
+    S.p_f = ibuf + nd + 5 * nd;
+    S.ev = ev;
+    int rc = sim_run(&S);
+    counters[0] = S.n_events;
+    counters[1] = S.n_passes;
+    free(dbuf); free(ibuf); free(ev);
+    return rc;
+}
+
+int repro_fixed_batch(i64 n_trials, i64 m, i64 nmax,
+                      const double *subs, const double *runs, const i64 *sizes,
+                      const double *prios, const i64 *order, double *starts)
+{
+    if (m <= 0 || n_trials <= 0) return 0;
+    size_t md = (size_t)m;
+    double *dbuf = (double *)malloc((md + 4 * md) * sizeof(double));
+    i64 *ibuf = (i64 *)malloc((md + 2 * md) * sizeof(i64));
+    unsigned char *bf = (unsigned char *)malloc(md);
+    if (!dbuf || !ibuf || !bf) {
+        free(dbuf); free(ibuf); free(bf);
+        return 1;
+    }
+    Sim S;
+    memset(&S, 0, sizeof(S));
+    S.n = m; S.nmax = nmax; S.mode = 0;
+    S.subs = subs; S.runs = runs; S.procs = runs;
+    S.sizes = sizes; S.order = order;
+    S.backfilled = bf;
+    S.h_t = dbuf;
+    S.q_s = dbuf + md;
+    S.q_sub = dbuf + md + 2 * md;
+    S.h_i = ibuf;
+    S.q_i = ibuf + md;
+    int rc = 0;
+    for (i64 t = 0; t < n_trials; t++) {
+        S.scores = prios + t * m;
+        S.start = starts + t * m;
+        rc = sim_run(&S);
+        if (rc) break;
+    }
+    free(dbuf); free(ibuf); free(bf);
+    return rc;
+}
+"""
+
+#: Non-zero return codes from the C loop.  All indicate internal
+#: invariant violations (impossible after the Python-side validation),
+#: never data-dependent conditions.
+_ERRORS = {
+    1: "out of memory allocating simulation scratch",
+    2: "oversubscription: a job was started without enough free cores",
+    3: "EASY shadow computation found no feasible reservation",
+    4: "availability profile oversubscribed",
+}
+
+
+def requested_mode() -> str:
+    """The backend selection from ``REPRO_SIM_KERNEL`` (validated)."""
+    mode = os.environ.get("REPRO_SIM_KERNEL", "auto").strip().lower() or "auto"
+    if mode not in ("auto", "c", "python"):
+        raise ValueError(
+            f"REPRO_SIM_KERNEL={mode!r}; choose from 'auto', 'c', 'python'"
+        )
+    return mode
+
+
+def cache_dir() -> Path:
+    """Directory holding compiled kernels (override: ``REPRO_CKERNEL_DIR``)."""
+    override = os.environ.get("REPRO_CKERNEL_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "ckernel"
+
+
+def _find_compiler() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _build(so_path: Path) -> None:
+    """Compile the embedded source to *so_path* (atomic via rename)."""
+    cc = _find_compiler()
+    if cc is None:
+        raise CBackendUnavailable("no C compiler found (set $CC or install gcc)")
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_c = tempfile.mkstemp(suffix=".c", dir=so_path.parent)
+    tmp_so = tmp_c[:-2] + ".so"
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(_C_SOURCE)
+        cmd = [cc, "-O2", "-fPIC", "-shared", "-o", tmp_so, tmp_c, "-lm"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise CBackendUnavailable(
+                f"C kernel build failed ({' '.join(cmd)}):\n{proc.stderr.strip()}"
+            )
+        os.replace(tmp_so, so_path)
+    finally:
+        for leftover in (tmp_c, tmp_so):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+
+
+class CKernel:
+    """ctypes bindings over the compiled event-loop library."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._sim = lib.repro_sim
+        self._sim.restype = ctypes.c_int
+        self._sim.argtypes = (
+            [ctypes.c_longlong, ctypes.c_longlong, ctypes.c_int]
+            + [ctypes.c_void_p] * 9
+        )
+        self._batch = lib.repro_fixed_batch
+        self._batch.restype = ctypes.c_int
+        self._batch.argtypes = [
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+        ] + [ctypes.c_void_p] * 6
+
+    def sim(
+        self,
+        subs: np.ndarray,
+        runs: np.ndarray,
+        procs: np.ndarray,
+        sizes: np.ndarray,
+        scores: np.ndarray,
+        order: np.ndarray,
+        nmax: int,
+        mode: int,
+    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        n = subs.shape[0]
+        start = np.empty(n, dtype=np.float64)
+        backfilled = np.zeros(n, dtype=np.uint8)
+        counters = np.zeros(2, dtype=np.int64)
+        rc = self._sim(
+            n,
+            nmax,
+            mode,
+            subs.ctypes.data,
+            runs.ctypes.data,
+            procs.ctypes.data,
+            sizes.ctypes.data,
+            scores.ctypes.data,
+            order.ctypes.data,
+            start.ctypes.data,
+            backfilled.ctypes.data,
+            counters.ctypes.data,
+        )
+        if rc:
+            raise RuntimeError(
+                f"C simulation kernel failed: {_ERRORS.get(rc, f'code {rc}')}"
+            )
+        return start, backfilled.view(bool), int(counters[0]), int(counters[1])
+
+    def fixed_batch(
+        self,
+        subs: np.ndarray,
+        runs: np.ndarray,
+        sizes: np.ndarray,
+        prios: np.ndarray,
+        order: np.ndarray,
+        nmax: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        n_trials, m = prios.shape
+        rc = self._batch(
+            n_trials,
+            m,
+            nmax,
+            subs.ctypes.data,
+            runs.ctypes.data,
+            sizes.ctypes.data,
+            prios.ctypes.data,
+            order.ctypes.data,
+            out.ctypes.data,
+        )
+        if rc:
+            raise RuntimeError(
+                f"C trial kernel failed: {_ERRORS.get(rc, f'code {rc}')}"
+            )
+        return out
+
+
+_UNSET = object()
+_cached: object = _UNSET  # CKernel | None once resolved
+
+
+def load() -> CKernel | None:
+    """The process-wide C kernel, building it on first use.
+
+    Returns ``None`` when unavailable (no compiler, build failure, load
+    failure) unless ``REPRO_SIM_KERNEL=c`` demands it, in which case
+    :class:`CBackendUnavailable` propagates.
+    """
+    global _cached
+    if _cached is not _UNSET:
+        if _cached is None and requested_mode() == "c":
+            raise CBackendUnavailable("C kernel unavailable (earlier build failed)")
+        return _cached  # type: ignore[return-value]
+    try:
+        digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+        so_path = cache_dir() / f"simkernel-{digest}.so"
+        if not so_path.is_file():
+            _build(so_path)
+        _cached = CKernel(ctypes.CDLL(str(so_path)))
+    except Exception as exc:
+        _cached = None
+        if requested_mode() == "c":
+            if isinstance(exc, CBackendUnavailable):
+                raise
+            raise CBackendUnavailable(f"C kernel unavailable: {exc}") from exc
+    return _cached  # type: ignore[return-value]

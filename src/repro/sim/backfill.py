@@ -14,6 +14,12 @@ execution, exactly as in the paper.
 The implementation is a pure function over plain arrays so it can be
 property-tested in isolation from the event loop (see
 ``tests/sim/test_backfill.py`` for the "head never delayed" invariant).
+
+Since the kernel refactor this module is the *reference* EASY
+implementation: the unified event loop (:mod:`repro.sim.kernel`, both
+the vectorised Python path and the C backend) inlines the same shadow
+arithmetic for speed, and the parity suite pins it to these semantics
+bit for bit.
 """
 
 from __future__ import annotations

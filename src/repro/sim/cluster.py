@@ -4,7 +4,12 @@ The paper's platform model (§3.1) is a set of ``nmax`` homogeneous cores
 behind *any* interconnection topology — i.e. topology never constrains
 placement, so the entire resource state is a single free-core counter.
 This class enforces the conservation invariant (``free + busy == nmax`` at
-all times) and is the only place allocation arithmetic happens.
+all times).
+
+The unified kernel (:mod:`repro.sim.kernel`) tracks free cores as a bare
+counter (with the same oversubscription assertion) for speed; this class
+remains the documented resource model and backs the heterogeneous
+simulator's per-pool accounting (:mod:`repro.sim.hetero`).
 """
 
 from __future__ import annotations

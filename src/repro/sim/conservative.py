@@ -15,6 +15,11 @@ reservation begins *now* start immediately — that includes both the queue
 head and any backfill candidate that slots into a hole without moving an
 earlier reservation (earlier-priority jobs reserved first, so later
 reservations can never displace them).
+
+:func:`conservative_starts` is called per event by the unified kernel's
+Python path (:mod:`repro.sim.kernel`); the C backend carries a literal
+transcription of the same profile arithmetic, epsilon for epsilon, so
+both backends reproduce these semantics bit for bit.
 """
 
 from __future__ import annotations

@@ -8,34 +8,34 @@ the EASY aggressive-backfilling pass runs when the head blocks.
 
 Design notes
 ------------
-* The waiting queue is kept as index lists into the workload's
-  structure-of-arrays; policy scoring is vectorized (one call per
-  rescheduling pass), which is where >90 % of simulation time goes for
-  dynamic policies.
+* Since the kernel refactor this module is a *thin configuration* of the
+  unified event loop in :mod:`repro.sim.kernel`: it validates inputs,
+  maps the policy onto the kernel's scoring contract, and wraps the
+  kernel output in a :class:`ScheduleResult`.
 * Static policies (``policy.dynamic == False`` — their score does not
-  depend on the current time) are scored once at arrival and the queue is
-  maintained sorted by ``(score, submit, index)`` with :mod:`bisect`,
-  avoiding a full re-sort on every event.  Both paths are semantically
-  identical; tests cross-check them.
+  depend on the current time and is elementwise per job) are scored for
+  the **whole workload in one** ``policy.scores`` call before the event
+  loop starts; the kernel keeps the queue sorted by
+  ``(score, submit, index)``.  Dynamic policies are rescored per
+  scheduling pass with one array call over the entire queue.  Both paths
+  are bit-identical to the retained legacy loop (``tests/oracle_sim.py``).
 * Scheduling decisions use the user estimate ``e`` when
   ``use_estimates=True`` (§4.2.2); execution always uses the actual
   runtime ``r``.
+* NaN policy scores raise :class:`ValueError` at the kernel boundary
+  (they would silently corrupt the queue order otherwise).
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.obs.metrics import current_registry
-from repro.sim.backfill import easy_backfill
-from repro.sim.conservative import conservative_starts
-from repro.sim.cluster import Cluster
-from repro.sim.events import CompletionQueue
 from repro.sim.job import Workload
+from repro.sim.kernel import simulate_events
 from repro.sim.metrics import (
     DEFAULT_TAU,
     average_bounded_slowdown,
@@ -160,37 +160,6 @@ class ScheduleResult:
         return summarize(self.bsld(tau))
 
 
-class _Queue:
-    """Waiting queue with static (sorted-insert) and dynamic (re-sort) modes."""
-
-    def __init__(self, dynamic: bool) -> None:
-        self.dynamic = dynamic
-        self.items: list[int] = []  # job indices (priority order when static)
-        self._keys: list[tuple[float, float, int]] = []  # static mode only
-
-    def __len__(self) -> int:
-        return len(self.items)
-
-    def add_static(self, idx: int, score: float, submit: float) -> None:
-        key = (score, submit, idx)
-        pos = bisect.bisect_left(self._keys, key)
-        self._keys.insert(pos, key)
-        self.items.insert(pos, idx)
-
-    def add_dynamic(self, idx: int) -> None:
-        self.items.append(idx)
-
-    def remove_started(self, started: set[int]) -> None:
-        if not started:
-            return
-        if self.dynamic:
-            self.items = [i for i in self.items if i not in started]
-        else:
-            keep = [k for k, i in zip(self._keys, self.items) if i not in started]
-            self._keys = keep
-            self.items = [k[2] for k in keep]
-
-
 def simulate(
     workload: Workload,
     policy: "Policy",
@@ -216,135 +185,53 @@ def simulate(
     )
     workload.validate_for_machine(nmax)
     n = len(workload)
-    start = np.full(n, np.nan)
-    backfilled = np.zeros(n, dtype=bool)
     if n == 0:
-        return ScheduleResult(workload, start, policy.name, config, backfilled, 0)
+        return ScheduleResult(
+            workload, np.full(0, np.nan), policy.name, config,
+            np.zeros(0, dtype=bool), 0,
+        )
 
     subs = workload.submit
-    runs = workload.runtime
-    sizes_arr = workload.size
     procs = workload.estimate if use_estimates else workload.runtime
-    sizes = [int(x) for x in sizes_arr]
 
-    cluster = Cluster(nmax)
-    completions = CompletionQueue()
-    expected_end: dict[int, float] = {}
-    queue = _Queue(dynamic=policy.dynamic)
-
-    ai = 0  # arrival pointer (workload is submit-sorted)
-    started_count = 0
-    now = float(subs[0])
-    n_events = 0
-    n_backfill_passes = 0  # local tally; recorded once at the end
-
-    def start_job(idx: int, at: float, via_backfill: bool) -> None:
-        nonlocal started_count
-        cluster.allocate(idx, sizes[idx])
-        start[idx] = at
-        completions.push(at + float(runs[idx]), idx)
-        expected_end[idx] = at + float(procs[idx])
-        backfilled[idx] = via_backfill
-        started_count += 1
-
-    def priority_order(at: float) -> list[int]:
-        if not queue.dynamic:
-            return queue.items  # maintained sorted
-        q = np.fromiter(queue.items, dtype=np.int64, count=len(queue.items))
-        scores = policy.scores(at, subs[q], procs[q], sizes_arr[q])
-        order = np.lexsort((q, subs[q], scores))
-        return [int(q[i]) for i in order]
-
-    mode = config.backfill_mode
-
-    def schedule_pass(at: float) -> None:
-        nonlocal n_backfill_passes
-        if not queue.items:
-            return
-        order = priority_order(at)
-        started: set[int] = set()
-        if mode == "conservative":
-            n_backfill_passes += 1
-            run_idx = list(expected_end)
-            chosen = conservative_starts(
-                at,
-                nmax,
-                order,
-                [sizes[i] for i in order],
-                [float(procs[i]) for i in order],
-                [expected_end[i] for i in run_idx],
-                [sizes[i] for i in run_idx],
-            )
-            head = order[0]
-            for idx in chosen:
-                start_job(idx, at, via_backfill=idx != head)
-                started.add(idx)
-            queue.remove_started(started)
-            return
-        pos = 0
-        while pos < len(order) and sizes[order[pos]] <= cluster.free:
-            start_job(order[pos], at, via_backfill=False)
-            started.add(order[pos])
-            pos += 1
-        if mode == "easy" and pos < len(order) and cluster.free > 0:
-            head = order[pos]
-            cands = order[pos + 1 :]
-            if cands:
-                n_backfill_passes += 1
-                run_idx = list(expected_end)
-                chosen = easy_backfill(
-                    at,
-                    cluster.free,
-                    sizes[head],
-                    cands,
-                    [sizes[i] for i in cands],
-                    [float(procs[i]) for i in cands],
-                    [expected_end[i] for i in run_idx],
-                    [sizes[i] for i in run_idx],
-                )
-                for idx in chosen:
-                    start_job(idx, at, via_backfill=True)
-                    started.add(idx)
-        queue.remove_started(started)
-
-    while started_count < n:
-        next_arrival = float(subs[ai]) if ai < n else np.inf
-        next_completion = completions.peek_time()
-        if not queue.items and cluster.running_jobs == 0:
-            event_time = next_arrival
-        else:
-            event_time = min(next_arrival, next_completion)
-        now = max(now, event_time)
-        n_events += 1
-
-        for idx in completions.pop_until(now):
-            cluster.release(idx)
-            expected_end.pop(idx, None)
-        if not queue.dynamic:
-            batch: list[int] = []
-            while ai < n and float(subs[ai]) <= now:
-                batch.append(ai)
-                ai += 1
-            if batch:
-                b = np.asarray(batch, dtype=np.int64)
-                scores = policy.scores(now, subs[b], procs[b], sizes_arr[b])
-                for idx, sc in zip(batch, scores):
-                    queue.add_static(idx, float(sc), float(subs[idx]))
-        else:
-            while ai < n and float(subs[ai]) <= now:
-                queue.add_dynamic(ai)
-                ai += 1
-
-        schedule_pass(now)
+    if policy.dynamic:
+        outcome = simulate_events(
+            subs,
+            workload.runtime,
+            procs,
+            workload.size,
+            nmax,
+            scorer=policy.scores,
+            backfill=config.backfill_mode,
+        )
+    else:
+        # Static contract: scores are now-independent and elementwise,
+        # so one whole-workload call (at any reference time) reproduces
+        # the per-arrival-batch scores bit for bit.  The contract is
+        # enforced registry-wide by tests/test_policy_batch_contract.py.
+        scores = policy.scores(float(subs[0]), subs, procs, workload.size)
+        outcome = simulate_events(
+            subs,
+            workload.runtime,
+            procs,
+            workload.size,
+            nmax,
+            static_scores=scores,
+            backfill=config.backfill_mode,
+        )
 
     # Telemetry (no-op by default): one batch of counter increments per
     # whole-workload simulation — never per event or per job — so the
-    # disabled path costs four null method calls for the entire run.
+    # disabled path costs five null method calls for the entire run.
+    # Counter names and semantics are unchanged from the pre-kernel loop.
     registry = current_registry()
     registry.inc("sim.runs")
-    registry.inc("sim.events", n_events)
+    registry.inc("sim.events", outcome.n_events)
     registry.inc("sim.jobs_completed", n)
-    registry.inc("sim.backfill_passes", n_backfill_passes)
-    registry.inc("sim.backfilled", int(backfilled.sum()))
+    registry.inc("sim.backfill_passes", outcome.n_backfill_passes)
+    registry.inc("sim.backfilled", int(outcome.backfilled.sum()))
 
-    return ScheduleResult(workload, start, policy.name, config, backfilled, n_events)
+    return ScheduleResult(
+        workload, outcome.start, policy.name, config,
+        outcome.backfilled, outcome.n_events,
+    )

@@ -6,6 +6,10 @@ pointer into the submit-sorted workload, so only completions live here).
 Kept as its own module so the invariants — monotonically non-decreasing pop
 times, batch extraction of simultaneous events — are unit-testable in
 isolation.
+
+The unified kernel (:mod:`repro.sim.kernel`) inlines a raw ``heapq`` /
+C heap with the same pop discipline for speed; this class remains the
+documented reference (and is still used by :mod:`repro.sim.hetero`).
 """
 
 from __future__ import annotations

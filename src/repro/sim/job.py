@@ -17,6 +17,11 @@ construction and tests) and :class:`Workload` (structure-of-arrays, used by
 the simulator and every generator — the hot paths are all vectorized over
 these arrays, per the hpc-parallel guide's "vectorize the bottleneck"
 idiom).
+
+:class:`Workload.__post_init__` guarantees C-contiguous float64/int64
+attribute arrays sorted by submit time — the exact layout the unified
+simulation kernel (:mod:`repro.sim.kernel`) hands to its compiled
+backend without copying.
 """
 
 from __future__ import annotations

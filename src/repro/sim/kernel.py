@@ -1,0 +1,433 @@
+"""Unified event-heap simulation kernel.
+
+Both public simulators — :func:`repro.sim.engine.simulate` (the online
+evaluation engine) and
+:func:`repro.sim.listsched.simulate_fixed_priority` (the training trial
+simulator) — are thin configurations of the single event loop in this
+module.  One arrival/completion heap drives every mode; per-event state
+lives in preallocated arrays (start times, the running set's
+expected-end/size timeline, the sorted waiting queue) instead of the
+per-event dicts and list comprehensions of the pre-kernel loops.
+
+Event loop contract (the exact semantics of the original loops — the
+parity suite pins them bit-for-bit against ``tests/oracle_sim.py``):
+
+1. The clock jumps to ``min(next arrival, next completion)`` and never
+   moves backwards; each jump is one *event* (``n_events``).
+2. Completions at or before ``now`` release cores first, in
+   ``(finish_time, job)`` order; then all arrivals at or before ``now``
+   enter the waiting queue.
+3. One scheduling pass runs per event: the queue is ordered by
+   ``(score, submit, index)`` — lower score first — and the head starts
+   while it fits (head-blocking).  With ``backfill="easy"`` a blocked
+   head triggers the EASY pass over the remaining queue; with
+   ``backfill="conservative"`` the whole queue is replanned against an
+   availability profile and every job whose reservation begins now
+   starts.
+
+Scoring is vectorised at the batch level: *static* scores (policies
+whose score is independent of ``now``) are computed for the whole
+workload in **one** ``policy.scores`` call before the loop starts, and
+*dynamic* policies are rescored per pass with one array call over the
+entire queue — never per job.  Static-score simulations additionally
+dispatch to a compiled C transcription of the same loop
+(:mod:`repro.sim._cbackend`, ``REPRO_SIM_KERNEL`` selects the backend);
+dynamic ones stay on the Python path because their numpy score bits are
+not reproducible from libm.
+
+The kernel records no telemetry itself: the engine and trial wrappers
+increment the same counters (``sim.*``, ``listsched.*``) with the same
+semantics as before the refactor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_left
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+from repro.sim import _cbackend
+
+__all__ = [
+    "KernelResult",
+    "simulate_events",
+    "fixed_priority_starts",
+    "fixed_priority_batch",
+    "validate_scores",
+]
+
+#: Canonical backfill mode -> integer code shared with the C backend.
+_MODE_CODES = {None: 0, "easy": 1, "conservative": 2}
+
+
+class KernelResult(NamedTuple):
+    """Everything one kernel run produces."""
+
+    start: np.ndarray
+    backfilled: np.ndarray
+    n_events: int
+    n_backfill_passes: int
+
+
+def validate_scores(scores: np.ndarray, label: str = "score") -> None:
+    """Reject NaN scores/priorities at the kernel boundary.
+
+    NaN compares false against everything, so a NaN key would silently
+    corrupt the waiting-queue order (historically: undefined queue
+    positions rather than an error).  Raises :class:`ValueError` naming
+    the first offending job index.
+    """
+    isnan = np.isnan(scores)
+    if isnan.any():
+        where = np.argwhere(isnan)[0]
+        job = int(where[-1])
+        trial = f" (trial {int(where[0])})" if scores.ndim > 1 else ""
+        raise ValueError(
+            f"{label} for job {job}{trial} is NaN; NaN never sorts, so the"
+            " waiting-queue order would be silently corrupted"
+        )
+
+
+def _as_f64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def _as_i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def simulate_events(
+    submit: np.ndarray,
+    runtime: np.ndarray,
+    proc: np.ndarray,
+    size: np.ndarray,
+    nmax: int,
+    *,
+    static_scores: np.ndarray | None = None,
+    scorer: Callable[[float, np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    | None = None,
+    backfill: str | None = None,
+    arrival_order: np.ndarray | None = None,
+    score_label: str = "score",
+) -> KernelResult:
+    """Run one simulation through the unified event loop.
+
+    Parameters
+    ----------
+    submit, runtime, proc, size:
+        Job attribute arrays: arrival time, actual runtime (drives
+        completions), the processing time the *scheduler* sees (drives
+        expected ends / backfill decisions; equals ``runtime`` unless
+        the caller simulates user estimates) and core count.
+    nmax:
+        Machine size in cores.  Callers validate ``size <= nmax``.
+    static_scores:
+        Per-job queue score for the whole workload (lower runs first;
+        ties by submit then index).  Mutually exclusive with *scorer*.
+    scorer:
+        Batch scoring callable ``scorer(now, submit, proc, size)`` for
+        dynamic policies, applied to the entire queue once per
+        scheduling pass.
+    backfill:
+        ``None``, ``"easy"`` or ``"conservative"`` (canonical spellings
+        only — use :func:`repro.sim.engine.normalize_backfill`).
+    arrival_order:
+        Indices sorted by ``(submit, index)``.  Defaults to ``0..n-1``
+        (correct for submit-sorted workloads).
+    """
+    if (static_scores is None) == (scorer is None):
+        raise ValueError("exactly one of static_scores/scorer must be given")
+    mode = _MODE_CODES[backfill]
+    submit = _as_f64(submit)
+    runtime = _as_f64(runtime)
+    proc = _as_f64(proc)
+    size = _as_i64(size)
+    n = submit.shape[0]
+    if n == 0:
+        return KernelResult(np.empty(0, dtype=float), np.zeros(0, dtype=bool), 0, 0)
+    if arrival_order is None:
+        arrival_order = np.arange(n, dtype=np.int64)
+    else:
+        arrival_order = _as_i64(arrival_order)
+    if static_scores is not None:
+        static_scores = _as_f64(static_scores)
+        validate_scores(static_scores, score_label)
+        backend = None if _cbackend.requested_mode() == "python" else _cbackend.load()
+        if backend is not None:
+            start, backfilled, n_events, n_passes = backend.sim(
+                submit, runtime, proc, size, static_scores, arrival_order, nmax, mode
+            )
+            return KernelResult(start, backfilled, n_events, n_passes)
+    return _simulate_py(
+        submit, runtime, proc, size, nmax, mode, static_scores, scorer, arrival_order
+    )
+
+
+def fixed_priority_starts(
+    submit: np.ndarray,
+    runtime: np.ndarray,
+    size: np.ndarray,
+    priority: np.ndarray,
+    nmax: int,
+    *,
+    arrival_order: np.ndarray | None = None,
+) -> np.ndarray:
+    """One head-blocking fixed-priority simulation; returns start times."""
+    submit = _as_f64(submit)
+    if arrival_order is None:
+        arrival_order = np.argsort(submit, kind="stable")
+    return simulate_events(
+        submit,
+        runtime,
+        runtime,
+        size,
+        nmax,
+        static_scores=priority,
+        arrival_order=arrival_order,
+        score_label="priority",
+    ).start
+
+
+def fixed_priority_batch(
+    submit: np.ndarray,
+    runtime: np.ndarray,
+    size: np.ndarray,
+    priorities: np.ndarray,
+    nmax: int,
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Simulate many fixed-priority trials over one shared job set.
+
+    *priorities* has shape ``(n_trials, m)``; row ``t`` is the priority
+    vector of trial ``t``.  The arrival order (a function of ``submit``
+    alone) is computed once and shared across all trials, and the C
+    backend reuses one scratch arena for the whole batch — this is the
+    training inner loop's fast path.  Returns the ``(n_trials, m)``
+    start-time matrix, bit-identical to looping
+    :func:`fixed_priority_starts` row by row.
+    """
+    submit = _as_f64(submit)
+    runtime = _as_f64(runtime)
+    size = _as_i64(size)
+    prios = np.ascontiguousarray(priorities, dtype=np.float64)
+    if prios.ndim != 2 or prios.shape[1] != submit.shape[0]:
+        raise ValueError("priorities must have shape (n_trials, n_jobs)")
+    validate_scores(prios, "priority")
+    n_trials, m = prios.shape
+    if out is None:
+        out = np.empty((n_trials, m), dtype=np.float64)
+    if m == 0 or n_trials == 0:
+        return out
+    arrival_order = np.argsort(submit, kind="stable")
+    backend = None if _cbackend.requested_mode() == "python" else _cbackend.load()
+    if backend is not None:
+        return backend.fixed_batch(
+            submit, runtime, size, prios, arrival_order, nmax, out
+        )
+    for t in range(n_trials):
+        res = _simulate_py(
+            submit, runtime, runtime, size, nmax, 0, prios[t], None, arrival_order
+        )
+        out[t] = res.start
+    return out
+
+
+def _simulate_py(
+    subs: np.ndarray,
+    runs: np.ndarray,
+    procs: np.ndarray,
+    sizes: np.ndarray,
+    nmax: int,
+    mode: int,
+    static_scores: np.ndarray | None,
+    scorer,
+    order: np.ndarray,
+) -> KernelResult:
+    """The pure-Python event loop (dynamic policies and C-less hosts)."""
+    from repro.sim.conservative import conservative_starts
+
+    n = subs.shape[0]
+    subs_l = subs.tolist()
+    runs_l = runs.tolist()
+    procs_l = procs.tolist()
+    sizes_l = sizes.tolist()
+    order_l = order.tolist()
+
+    start_arr = np.full(n, np.nan)
+    backfilled = np.zeros(n, dtype=bool)
+
+    # Running set: preallocated parallel arrays with O(1) swap-removal.
+    # Iteration order is never observable (the EASY shadow sorts by
+    # (end, size); the availability profile sums per distinct end).
+    run_end = np.empty(n, dtype=np.float64)
+    run_size = np.empty(n, dtype=np.int64)
+    run_job = [0] * n
+    run_pos: dict[int, int] = {}
+    rn = 0
+
+    free = nmax
+    completions: list[tuple[float, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    dynamic = scorer is not None
+    if dynamic:
+        items: list[int] = []
+    else:
+        scores_l = static_scores.tolist()
+        wkeys: list[tuple[float, float, int]] = []
+        witems: list[int] = []
+
+    inf = math.inf
+    ai = 0
+    started_count = 0
+    n_events = 0
+    n_passes = 0
+    now = subs_l[order_l[0]]
+
+    def _start(idx: int, via_bf: bool) -> None:
+        nonlocal free, rn, started_count
+        sz = sizes_l[idx]
+        free -= sz
+        assert free >= 0, "kernel oversubscription"
+        start_arr[idx] = now
+        if via_bf:
+            backfilled[idx] = True
+        heappush(completions, (now + runs_l[idx], idx))
+        if mode:
+            run_end[rn] = now + procs_l[idx]
+            run_size[rn] = sz
+            run_job[rn] = idx
+            run_pos[idx] = rn
+            rn += 1
+        started_count += 1
+
+    while started_count < n:
+        na = subs_l[order_l[ai]] if ai < n else inf
+        nc = completions[0][0] if completions else inf
+        et = na if na < nc else nc
+        if now < et:
+            now = et
+        n_events += 1
+
+        while completions and completions[0][0] <= now:
+            _, idx = heappop(completions)
+            free += sizes_l[idx]
+            if mode:
+                p = run_pos.pop(idx)
+                last = rn - 1
+                if p != last:
+                    run_end[p] = run_end[last]
+                    run_size[p] = run_size[last]
+                    j = run_job[last]
+                    run_job[p] = j
+                    run_pos[j] = p
+                rn = last
+
+        if dynamic:
+            while ai < n and subs_l[order_l[ai]] <= now:
+                items.append(order_l[ai])
+                ai += 1
+            if not items:
+                continue
+        else:
+            while ai < n and subs_l[order_l[ai]] <= now:
+                i2 = order_l[ai]
+                key = (scores_l[i2], subs_l[i2], i2)
+                pos = bisect_left(wkeys, key)
+                wkeys.insert(pos, key)
+                witems.insert(pos, i2)
+                ai += 1
+            if not witems:
+                continue
+
+        # ---- scheduling pass -----------------------------------------
+        if mode != 2 and free == 0:
+            # Nothing can start (every job needs >= 1 core) and the EASY
+            # pass requires free cores, so skipping is result-identical;
+            # this also skips a dynamic rescoring, which is pure win.
+            continue
+
+        if dynamic:
+            q = np.fromiter(items, dtype=np.int64, count=len(items))
+            sq = subs[q]
+            sc = scorer(now, sq, procs[q], sizes[q])
+            ord_list = q[np.lexsort((q, sq, sc))].tolist()
+        else:
+            ord_list = witems
+
+        started: set[int] = set()
+        if mode == 2:
+            n_passes += 1
+            chosen = conservative_starts(
+                now,
+                nmax,
+                ord_list,
+                [sizes_l[i] for i in ord_list],
+                [procs_l[i] for i in ord_list],
+                run_end[:rn].tolist(),
+                run_size[:rn].tolist(),
+            )
+            head = ord_list[0]
+            for idx in chosen:
+                _start(idx, idx != head)
+                started.add(idx)
+        else:
+            pos = 0
+            L = len(ord_list)
+            while pos < L and sizes_l[ord_list[pos]] <= free:
+                idx = ord_list[pos]
+                _start(idx, False)
+                started.add(idx)
+                pos += 1
+            if mode == 1 and pos < L and free > 0 and L - pos >= 2:
+                n_passes += 1
+                head_size = sizes_l[ord_list[pos]]
+                if rn == 0:
+                    raise RuntimeError(
+                        "EASY shadow with nothing running: head exceeds nmax"
+                    )
+                # Vectorised shadow: sort running (clamped end, size)
+                # pairs, then the first prefix-sum crossing head_size is
+                # the reservation — same arithmetic as
+                # repro.sim.backfill.shadow_schedule.
+                ends = np.maximum(run_end[:rn], now)
+                ordr = np.lexsort((run_size[:rn], ends))
+                csum = np.cumsum(run_size[:rn][ordr])
+                csum += free
+                k = int(np.searchsorted(csum, head_size, side="left"))
+                if k >= rn:
+                    raise RuntimeError(
+                        "EASY shadow found no feasible reservation"
+                    )
+                shadow = float(ends[ordr[k]])
+                extra = int(csum[k]) - head_size
+                for p in range(pos + 1, L):
+                    idx = ord_list[p]
+                    sz = sizes_l[idx]
+                    if sz > free:
+                        continue
+                    if now + procs_l[idx] <= shadow + 1e-9:
+                        _start(idx, True)
+                        started.add(idx)
+                    elif sz <= extra:
+                        _start(idx, True)
+                        started.add(idx)
+                        extra -= sz
+                    if free == 0:
+                        break
+
+        if started:
+            if dynamic:
+                items = [i for i in items if i not in started]
+            else:
+                keep = [
+                    (k, i2) for k, i2 in zip(wkeys, witems) if i2 not in started
+                ]
+                wkeys = [k for k, _ in keep]
+                witems = [i2 for _, i2 in keep]
+
+    return KernelResult(start_arr, backfilled, n_events, n_passes)

@@ -6,27 +6,49 @@ of the probe set ``Q``, the execution of warm-up jobs ``S`` followed by
 backfilling is applied and the queue head blocks: a lower-priority job can
 never overtake the highest-priority *arrived* job, even if it would fit.
 
-This module is the tight inner loop of training (hundreds of thousands of
-trials), so it avoids all policy dispatch: priority is a plain array and
-the loop works on Python scalars extracted once from numpy arrays, which
-profiling shows is ~6x faster than repeated fancy indexing for the tiny
-(|S|+|Q| = 48) job counts involved.
+This is the tight inner loop of training (hundreds of thousands of
+trials), so it delegates to the unified event kernel
+(:mod:`repro.sim.kernel`): the priority array is the kernel's static
+score, and a whole batch of trials over one shared job set should go
+through :func:`simulate_fixed_priority_batch`, which amortises
+per-trial setup (arrival order, scratch allocation) across the batch.
 
 The semantics are deliberately identical to the online engine running a
 static "priority" policy — ``tests/sim/test_listsched.py`` cross-checks
-the two implementations on random instances.
+the two implementations on random instances, and
+``tests/test_sim_kernel_parity.py`` pins the kernel against the retained
+pre-kernel loop bit for bit.
+
+NaN priorities raise :class:`ValueError` naming the offending job index:
+NaN compares false against everything, so historically it silently
+corrupted the waiting-heap order instead of failing.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
-
 import numpy as np
 
 from repro.obs.metrics import current_registry
+from repro.sim.kernel import fixed_priority_batch, fixed_priority_starts, validate_scores
 
-__all__ = ["simulate_fixed_priority"]
+__all__ = ["simulate_fixed_priority", "simulate_fixed_priority_batch"]
+
+
+def _validate_jobs(submit, runtime, size, nmax: int) -> int:
+    """Shared argument validation; returns the job count ``m``."""
+    m = len(submit)
+    if not (len(runtime) == len(size) == m):
+        raise ValueError("attribute arrays must share one length")
+    if m == 0:
+        return 0
+    sizes = np.asarray(size)
+    worst = int(np.argmax(sizes))
+    if int(sizes[worst]) > nmax:
+        raise ValueError(
+            f"job {worst} needs {int(sizes[worst])} cores"
+            f" but the machine has only {nmax}"
+        )
+    return m
 
 
 def simulate_fixed_priority(
@@ -44,7 +66,8 @@ def simulate_fixed_priority(
         Job attribute arrays (any consistent length ``m``).
     priority:
         Queue rank per job; **lower values run first**.  Ties broken by
-        submit time then index (deterministic).
+        submit time then index (deterministic).  NaN raises
+        :class:`ValueError` naming the offending job.
     nmax:
         Machine size in cores.
 
@@ -52,61 +75,14 @@ def simulate_fixed_priority(
     -------
     ``start`` array of length ``m`` (start[i] >= submit[i]).
     """
-    m = len(submit)
-    if not (len(runtime) == len(size) == len(priority) == m):
+    if len(priority) != len(submit):
         raise ValueError("attribute arrays must share one length")
+    m = _validate_jobs(submit, runtime, size, nmax)
     if m == 0:
         return np.empty(0, dtype=float)
-    sizes = [int(x) for x in size]
-    if max(sizes) > nmax:
-        worst = max(range(m), key=lambda i: sizes[i])
-        raise ValueError(
-            f"job {worst} needs {sizes[worst]} cores"
-            f" but the machine has only {nmax}"
-        )
-
-    subs = [float(x) for x in submit]
-    runs = [float(x) for x in runtime]
-    prios = [float(x) for x in priority]
-
-    # Arrival order: by submit time, index as tie-break.
-    arrival_order = sorted(range(m), key=lambda i: (subs[i], i))
-    start = [math.nan] * m
-
-    free = nmax
-    waiting: list[tuple[float, float, int]] = []  # (priority, submit, idx)
-    completions: list[tuple[float, int]] = []  # (finish, idx)
-    ai = 0  # next arrival pointer
-    now = subs[arrival_order[0]]
-    remaining = m
-
-    while remaining:
-        # Advance the clock to the next event if nothing can be done now.
-        next_arrival = subs[arrival_order[ai]] if ai < m else math.inf
-        next_completion = completions[0][0] if completions else math.inf
-        event_time = min(next_arrival, next_completion)
-        if not waiting and free == nmax:
-            # Machine idle, queue empty: jump straight to the next arrival.
-            event_time = next_arrival
-        now = max(now, event_time)
-
-        # Release finished jobs first so arrivals at the same instant see
-        # the freed cores.
-        while completions and completions[0][0] <= now:
-            _, idx = heapq.heappop(completions)
-            free += sizes[idx]
-        while ai < m and subs[arrival_order[ai]] <= now:
-            idx = arrival_order[ai]
-            heapq.heappush(waiting, (prios[idx], subs[idx], idx))
-            ai += 1
-
-        # Head-blocking start loop.
-        while waiting and sizes[waiting[0][2]] <= free:
-            _, _, idx = heapq.heappop(waiting)
-            start[idx] = now
-            free -= sizes[idx]
-            heapq.heappush(completions, (now + runs[idx], idx))
-            remaining -= 1
+    priority = np.ascontiguousarray(priority, dtype=np.float64)
+    validate_scores(priority, "priority")
+    start = fixed_priority_starts(submit, runtime, size, priority, nmax)
 
     # Telemetry (no-op by default): per *trial*, never per job — this is
     # the training inner loop, so two null method calls per call is the
@@ -115,4 +91,41 @@ def simulate_fixed_priority(
     registry.inc("listsched.trials")
     registry.inc("listsched.jobs", m)
 
-    return np.asarray(start, dtype=float)
+    return start
+
+
+def simulate_fixed_priority_batch(
+    submit: np.ndarray,
+    runtime: np.ndarray,
+    size: np.ndarray,
+    priorities: np.ndarray,
+    nmax: int,
+) -> np.ndarray:
+    """Simulate ``n_trials`` priority vectors over one shared job set.
+
+    *priorities* has shape ``(n_trials, m)``; the result is the
+    ``(n_trials, m)`` start-time matrix, row ``t`` bit-identical to
+    ``simulate_fixed_priority(..., priorities[t], nmax)``.  This is the
+    training fast path: arrival order and kernel scratch state are set
+    up once for the whole batch instead of once per trial.
+
+    Telemetry counts each row as one ``listsched.trials`` increment, so
+    counter values match the per-trial loop exactly.
+    """
+    priorities = np.asarray(priorities)
+    if priorities.ndim != 2:
+        raise ValueError("priorities must have shape (n_trials, n_jobs)")
+    if priorities.shape[1] != len(submit):
+        raise ValueError("attribute arrays must share one length")
+    m = _validate_jobs(submit, runtime, size, nmax)
+    n_trials = priorities.shape[0]
+    if m == 0 or n_trials == 0:
+        out = np.empty((n_trials, m), dtype=float)
+    else:
+        out = fixed_priority_batch(submit, runtime, size, priorities, nmax)
+
+    registry = current_registry()
+    registry.inc("listsched.trials", n_trials)
+    registry.inc("listsched.jobs", n_trials * m)
+
+    return out

@@ -1,0 +1,83 @@
+"""Registry-wide enforcement of the policy batch-scoring contract.
+
+The simulation kernel (:mod:`repro.sim.kernel`) relies on every policy's
+``scores`` being vectorised, elementwise and *batch-stable at the bit
+level*: the engine scores a static policy's whole workload in one call
+(the legacy loop scored per arrival batch), and dynamic policies get one
+whole-queue call per pass (the queue's composition changes between
+passes).  If a policy's score bits depended on which other jobs share
+the batch, kernel results would silently diverge from the legacy loop.
+
+See the "Batch-scoring contract" section of
+:mod:`repro.policies.base`.  Every policy in the registry — including
+ones registered later — is held to it by these tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.policies.registry import available_policies, get_policy
+
+N = 64
+NOW = 1000.0
+
+
+def _job_arrays(name: str):
+    rng = np.random.default_rng(abs(hash(name)) % 2**32)
+    submit = np.sort(rng.uniform(0.0, NOW, N))
+    proc = rng.uniform(0.5, 3600.0, N)
+    size = rng.integers(1, 257, N).astype(np.int64)
+    return submit, proc, size
+
+
+def _scores(policy, now, submit, proc, size) -> np.ndarray:
+    out = np.asarray(policy.scores(now, submit, proc, size), dtype=np.float64)
+    assert out.shape == submit.shape
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(available_policies()))
+class TestBatchScoringContract:
+    def test_chunk_stability(self, name):
+        """Slicing the batch must not change any job's score bits."""
+        with np.errstate(all="ignore"):
+            policy = get_policy(name)
+            submit, proc, size = _job_arrays(name)
+            full = _scores(policy, NOW, submit, proc, size)
+            for bounds in ((0, 1), (1, 17), (17, N), (0, N)):
+                lo, hi = bounds
+                part = _scores(
+                    policy, NOW, submit[lo:hi], proc[lo:hi], size[lo:hi]
+                )
+                assert part.tobytes() == full[lo:hi].tobytes(), (
+                    f"{name}: scores of slice [{lo}:{hi}] differ from the "
+                    "full-batch scores — batch-unstable policy"
+                )
+
+    def test_subset_stability(self, name):
+        """Arbitrary job subsets (the dynamic queue case) score identically."""
+        with np.errstate(all="ignore"):
+            policy = get_policy(name)
+            submit, proc, size = _job_arrays(name)
+            full = _scores(policy, NOW, submit, proc, size)
+            rng = np.random.default_rng(0)
+            idx = rng.permutation(N)[: N // 3]
+            part = _scores(policy, NOW, submit[idx], proc[idx], size[idx])
+            assert part.tobytes() == full[idx].tobytes(), (
+                f"{name}: scores depend on batch composition"
+            )
+
+    def test_static_policies_are_now_independent(self, name):
+        """dynamic=False means the kernel may score once, at any time."""
+        with np.errstate(all="ignore"):
+            policy = get_policy(name)
+            if policy.dynamic:
+                pytest.skip("dynamic policy: now-dependence is the point")
+            submit, proc, size = _job_arrays(name)
+            at_zero = _scores(policy, 0.0, submit, proc, size)
+            at_late = _scores(policy, 10.0 * NOW, submit, proc, size)
+            assert at_zero.tobytes() == at_late.tobytes(), (
+                f"{name}: static policy's scores changed with now"
+            )
