@@ -15,9 +15,9 @@ table4     :func:`repro.experiments.table4.run_rows`             ``list[DynamicE
 sweep      :func:`run` per expanded child, shared cache          :class:`SweepResult`
 ========== ===================================================== =====================
 
-``workers``, ``cache`` and ``progress`` are *execution* arguments, not
-spec fields: they cannot change any result (the runtime's bit-identical
-contract) and therefore never enter a fingerprint.  Passing ``cache``
+``workers``, ``backend``, ``cache`` and ``progress`` are *execution*
+arguments, not spec fields: they cannot change any result (the runtime's
+bit-identical contract) and therefore never enter a fingerprint.  Passing ``cache``
 reuses every content-addressed artifact the specs describe — training
 distributions, evaluation cells, single simulations — so re-running a
 spec (or growing a sweep grid by one axis value) only simulates what
@@ -37,6 +37,7 @@ from repro.eval.windows import Window, stream_windows, workload_fingerprint
 from repro.experiments.table4 import run_rows
 from repro.policies.registry import get_policy
 from repro.runtime.cache import ArtifactCache, coerce_cache
+from repro.runtime.config import resolve_backend
 from repro.sim.engine import simulate
 from repro.sim.job import Workload
 from repro.specs import (
@@ -231,11 +232,16 @@ def _run_train(
     spec: TrainSpec,
     *,
     workers: int | str,
+    backend: str,
     cache: ArtifactCache | None,
     progress: ProgressFn | None,
 ) -> PipelineResult:
     return obtain_policies(
-        spec.to_pipeline_config(), progress, workers=workers, cache=cache
+        spec.to_pipeline_config(),
+        progress,
+        workers=workers,
+        backend=backend,
+        cache=cache,
     )
 
 
@@ -278,11 +284,13 @@ def _run_simulate(
     spec: SimulateSpec,
     *,
     workers: int | str,
+    backend: str,
     cache: ArtifactCache | None,
     progress: ProgressFn | None,
 ) -> SimulateReport:
     # A single simulation is one serial engine run however many workers
-    # were requested; the flag is accepted for CLI symmetry.
+    # (and whichever backend) were requested; the flags are accepted for
+    # CLI symmetry.
     wl, nmax = _simulate_workload(spec)
     key = None
     if cache is not None:
@@ -373,6 +381,7 @@ def _run_evaluate(
     spec: EvaluateSpec,
     *,
     workers: int | str,
+    backend: str,
     cache: ArtifactCache | None,
     progress: ProgressFn | None,
 ) -> MatrixResult:
@@ -382,6 +391,7 @@ def _run_evaluate(
         source,
         config,
         workers=workers,
+        backend=backend,
         cache=cache,
         progress=progress,
         trace_name=trace_name,
@@ -392,6 +402,7 @@ def _run_table4(
     spec: Table4Spec,
     *,
     workers: int | str,
+    backend: str,
     cache: ArtifactCache | None,
     progress: ProgressFn | None,
 ) -> list:
@@ -403,6 +414,7 @@ def _run_table4(
         seed=spec.seed,
         policies=spec.resolved_policies(),
         workers=workers,
+        backend=backend,
         progress=progress,
     )
 
@@ -422,6 +434,7 @@ def _run_sweep(
     spec: SweepSpec,
     *,
     workers: int | str,
+    backend: str,
     cache: ArtifactCache | None,
     progress: ProgressFn | None,
 ) -> SweepResult:
@@ -433,7 +446,9 @@ def _run_sweep(
         # Cache-counter deltas around the child give uniform accounting
         # (every cacheable layer routes through the shared ArtifactCache).
         snapshot = cache.metrics.delta() if cache is not None else None
-        result = run(child, workers=workers, cache=cache, progress=progress)
+        result = run(
+            child, workers=workers, backend=backend, cache=cache, progress=progress
+        )
         if snapshot is not None:
             n_cached = int(snapshot.value("cache.hits"))
             n_simulated = int(snapshot.value("cache.misses"))
@@ -470,6 +485,7 @@ def run(
     spec: Spec,
     *,
     workers: int | str = 1,
+    backend: str = "process",
     cache: str | Path | ArtifactCache | None = None,
     progress: ProgressFn | None = None,
 ) -> Any:
@@ -483,6 +499,11 @@ def run(
     workers:
         Worker-process count (or ``"auto"``) for the parallel phases.
         Results are bit-identical for every value.
+    backend:
+        Executor backend for the parallel phases — one of
+        :data:`repro.runtime.BACKEND_NAMES` (``process``, ``local``,
+        ``workqueue``).  An execution knob like ``workers``: results
+        are bit-identical for every backend.
     cache:
         An :class:`~repro.runtime.ArtifactCache` or a directory path for
         one; every content-addressed artifact below the spec is loaded
@@ -500,7 +521,11 @@ def run(
     if runner is None:  # pragma: no cover - registry and runners co-evolve
         raise SpecError(f"no runner registered for spec kind {spec.kind!r}")
     return runner(
-        spec, workers=workers, cache=coerce_cache(cache), progress=progress
+        spec,
+        workers=workers,
+        backend=resolve_backend(backend),
+        cache=coerce_cache(cache),
+        progress=progress,
     )
 
 
@@ -508,8 +533,15 @@ def run_file(
     path: str | Path,
     *,
     workers: int | str = 1,
+    backend: str = "process",
     cache: str | Path | ArtifactCache | None = None,
     progress: ProgressFn | None = None,
 ) -> Any:
     """Load a spec document and :func:`run` it."""
-    return run(load_spec(path), workers=workers, cache=cache, progress=progress)
+    return run(
+        load_spec(path),
+        workers=workers,
+        backend=backend,
+        cache=cache,
+        progress=progress,
+    )

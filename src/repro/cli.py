@@ -41,12 +41,14 @@ from repro.cli_options import (
     add_cache_arg,
     add_scale_arg,
     add_telemetry_arg,
+    add_backend_arg,
     add_workers_arg,
     bootstrap_type,
     ci_level_type,
     split_csv,
     telemetry_dir_from,
     trace_source_type,
+    backend_from,
     workers_from,
 )
 from repro.obs import (
@@ -159,12 +161,14 @@ def _dispatch(spec: Spec, args: argparse.Namespace, *, command: str) -> int:
             file=sys.stderr,
         )
     workers = workers_from(args)
+    backend = backend_from(args)
     telemetry_dir = telemetry_dir_from(args)
     if telemetry_dir is None:
         try:
             result = api.run(
                 spec,
                 workers=workers,
+                backend=backend,
                 cache=getattr(args, "cache", None),
                 progress=_progress_for(spec),
             )
@@ -184,7 +188,11 @@ def _dispatch(spec: Spec, args: argparse.Namespace, *, command: str) -> int:
         try:
             with tracer.span("execute", kind=spec.kind):
                 result = api.run(
-                    spec, workers=workers, cache=cache, progress=_progress_for(spec)
+                    spec,
+                    workers=workers,
+                    backend=backend,
+                    cache=cache,
+                    progress=_progress_for(spec),
                 )
         except (SpecError, KeyError, ValueError) as exc:
             raise SystemExit(f"repro-sched {command}: {exc}") from None
@@ -202,6 +210,7 @@ def _dispatch(spec: Spec, args: argparse.Namespace, *, command: str) -> int:
             spec=spec,
             command=command,
             workers=workers,
+            backend=backend,
             wall_seconds=wall,
         ),
     )
@@ -618,6 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write the score distribution CSV here")
     add_cache_arg(p, "the simulated distribution")
     add_workers_arg(p)
+    add_backend_arg(p)
     add_scale_arg(p)
     p.set_defaults(func=_cmd_train)
 
@@ -651,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_cache_arg(p, "the simulation's metrics")
     add_workers_arg(p)
+    add_backend_arg(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -769,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_cache_arg(p, "every cell")
     add_workers_arg(p)
+    add_backend_arg(p)
     add_telemetry_arg(p)
     p.set_defaults(func=_cmd_evaluate)
 
@@ -777,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--plot", action="store_true", help="ASCII boxplots")
     add_workers_arg(p)
+    add_backend_arg(p)
     add_scale_arg(p)
     add_telemetry_arg(p)
     p.set_defaults(func=_cmd_table4)
@@ -797,6 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="table4 specs: ASCII boxplots")
     add_cache_arg(p, "every cached artifact")
     add_workers_arg(p)
+    add_backend_arg(p)
     add_telemetry_arg(p)
     p.set_defaults(func=_cmd_run)
 
@@ -811,6 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-dir", help="write sweep_summary.csv here")
     add_cache_arg(p, "every grid cell already covered")
     add_workers_arg(p)
+    add_backend_arg(p)
     add_telemetry_arg(p)
     p.set_defaults(func=_cmd_sweep)
 

@@ -9,11 +9,13 @@ spellings (and error messages) for the same concepts:
   :func:`cache_dir_type`, :func:`bootstrap_type`, :func:`ci_level_type`,
   :func:`trace_source_type` (a path or a ``pwa:<name>`` registry
   reference, validated against :mod:`repro.traces` at parse time);
-* flag groups — :func:`add_workers_arg`, :func:`add_cache_arg`,
-  :func:`add_scale_arg` attach the ``--workers`` / ``--cache`` /
-  ``--scale`` flags with one shared help text;
+* flag groups — :func:`add_workers_arg`, :func:`add_backend_arg`,
+  :func:`add_cache_arg`, :func:`add_scale_arg` attach the ``--workers``
+  / ``--backend`` / ``--cache`` / ``--scale`` flags with one shared
+  help text;
 * environment resolution — :func:`workers_from` applies the
-  ``$REPRO_WORKERS`` default, :func:`scale_name_from` keeps the chosen
+  ``$REPRO_WORKERS`` default, :func:`backend_from` the
+  ``$REPRO_BACKEND`` default, :func:`scale_name_from` keeps the chosen
   preset *name* (specs resolve names to numbers themselves).
 """
 
@@ -23,13 +25,15 @@ import argparse
 import os
 
 from repro.experiments.scale import SCALES, current_workers
-from repro.runtime import resolve_workers
+from repro.runtime import BACKEND_NAMES, resolve_backend, resolve_workers
 
 __all__ = [
+    "add_backend_arg",
     "add_cache_arg",
     "add_scale_arg",
     "add_telemetry_arg",
     "add_workers_arg",
+    "backend_from",
     "bootstrap_type",
     "cache_dir_type",
     "ci_level_type",
@@ -124,6 +128,20 @@ def add_workers_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def add_backend_arg(p: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--backend`` flag."""
+    p.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="executor backend for parallel phases: 'process' (pool per"
+        " run), 'local' (persistent work-stealing workers) or 'workqueue'"
+        " (filesystem queue with crash retry; see $REPRO_QUEUE_DIR)"
+        " (default: $REPRO_BACKEND or 'process'; results are bit-identical"
+        " on every backend)",
+    )
+
+
 def add_cache_arg(p: argparse.ArgumentParser, what: str) -> None:
     """Attach the standard ``--cache`` flag (*what* names the artifact)."""
     p.add_argument(
@@ -193,3 +211,11 @@ def workers_from(args: argparse.Namespace) -> int:
         return current_workers()
     except ValueError as exc:
         raise SystemExit(f"repro-sched: bad $REPRO_WORKERS: {exc}") from None
+
+
+def backend_from(args: argparse.Namespace) -> str:
+    """``--backend`` if given, else the ``$REPRO_BACKEND`` default."""
+    try:
+        return resolve_backend(getattr(args, "backend", None))
+    except ValueError as exc:
+        raise SystemExit(f"repro-sched: bad $REPRO_BACKEND: {exc}") from None

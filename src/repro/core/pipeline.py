@@ -134,13 +134,14 @@ def build_distribution(
     *,
     workers: int | str = 1,
     chunk_size: int | None = None,
+    backend: str = "process",
     cache: str | Path | ArtifactCache | None = None,
 ) -> tuple[list[TaskSetTuple], list[TrialScoreResult], ScoreDistribution]:
     """Phases 1–2: tuples, trials, pooled score distribution.
 
     Parameters
     ----------
-    workers, chunk_size:
+    workers, chunk_size, backend:
         Dispatch policy for the trial simulations (see
         :class:`repro.runtime.ExecutorConfig`).  Results are identical
         for every setting; ``workers=1`` runs in-process.
@@ -168,16 +169,18 @@ def build_distribution(
                 progress("trials", config.n_tuples, config.n_tuples)
             return tuples, results, dist
 
-    runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
-    results = runner.run_tuple_trials(
-        tuples,
-        nmax=config.nmax,
-        trials_per_tuple=config.trials_per_tuple,
-        root_seed=config.seed + 1,
-        balanced=config.balanced_trials,
-        tau=config.tau,
-        progress=progress,
-    )
+    with TrialRunner(
+        ExecutorConfig(workers=workers, chunk_size=chunk_size, backend=backend)
+    ) as runner:
+        results = runner.run_tuple_trials(
+            tuples,
+            nmax=config.nmax,
+            trials_per_tuple=config.trials_per_tuple,
+            root_seed=config.seed + 1,
+            balanced=config.balanced_trials,
+            tau=config.tau,
+            progress=progress,
+        )
     dist = ScoreDistribution.from_trial_results(results)
     if cache_store is not None:
         cache_store.store(key, results, dist)
@@ -190,6 +193,7 @@ def obtain_policies(
     *,
     workers: int | str = 1,
     chunk_size: int | None = None,
+    backend: str = "process",
     cache: str | Path | ArtifactCache | None = None,
 ) -> PipelineResult:
     """Run the full §3 procedure and return ranked policies.
@@ -197,12 +201,17 @@ def obtain_policies(
     The returned policies are named ``P1``–``Pk`` (rank order) to avoid
     confusion with the paper's published ``F1``–``F4``, which remain
     available as :func:`repro.policies.paper_policies`.  ``workers``,
-    ``chunk_size`` and ``cache`` configure the simulation phase exactly
-    as in :func:`build_distribution`.
+    ``chunk_size``, ``backend`` and ``cache`` configure the simulation
+    phase exactly as in :func:`build_distribution`.
     """
     config = config or PipelineConfig()
     tuples, trial_results, dist = build_distribution(
-        config, progress, workers=workers, chunk_size=chunk_size, cache=cache
+        config,
+        progress,
+        workers=workers,
+        chunk_size=chunk_size,
+        backend=backend,
+        cache=cache,
     )
 
     def regression_progress(done: int, total: int) -> None:

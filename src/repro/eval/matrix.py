@@ -395,6 +395,7 @@ def run_matrix(
     *,
     workers: int | str = 1,
     chunk_size: int | None = None,
+    backend: str = "process",
     cache: str | ArtifactCache | None = None,
     progress: ProgressCallback | None = None,
     trace_name: str | None = None,
@@ -411,7 +412,10 @@ def run_matrix(
     window names with their ``[w<k>]`` suffix stripped).
 
     Both paths are bit-identical to each other and across any
-    ``workers`` / ``chunk_size``.  With *cache*, cells already present
+    ``workers`` / ``chunk_size`` / ``backend`` (*backend* selects the
+    :class:`~repro.runtime.ExecutorBackend` that runs the cells — an
+    execution knob, never part of a cell's cache key).  With *cache*,
+    cells already present
     are loaded instead of simulated and fresh cells are stored; only
     cache-missing cells reach the pool, so a fully cached streaming
     re-run simulates nothing and holds no more than one window at once.
@@ -422,6 +426,7 @@ def run_matrix(
             config,
             workers=workers,
             chunk_size=chunk_size,
+            backend=backend,
             cache=cache,
             progress=progress,
             trace_name=trace_name,
@@ -483,8 +488,9 @@ def run_matrix(
             _cell_task_for(axes[k][0], axes[k][1], axes[k][2], config, nmax, seeds[k])
             for k in todo
         ]
-        runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
-        with span("eval.dispatch", cells=len(todo)):
+        with TrialRunner(
+            ExecutorConfig(workers=workers, chunk_size=chunk_size, backend=backend)
+        ) as runner, span("eval.dispatch", cells=len(todo)):
             fresh = runner.map(
                 _simulate_cell, tasks, progress=progress, phase="cells"
             )
@@ -534,6 +540,7 @@ def _run_matrix_streaming(
     *,
     workers: int | str,
     chunk_size: int | None,
+    backend: str,
     cache: str | ArtifactCache | None,
     progress: ProgressCallback | None,
     trace_name: str | None,
@@ -552,16 +559,20 @@ def _run_matrix_streaming(
     """
     store = coerce_cache(cache)
     registry = current_registry()
-    runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=chunk_size))
+    runner = TrialRunner(
+        ExecutorConfig(workers=workers, chunk_size=chunk_size, backend=backend)
+    )
     # Children of the config seed, spawned on demand in cell order.
     seed_root = np.random.SeedSequence(config.seed)
     cells: list[CellResult | None] = []
     # (slot, task, cache key) triples awaiting dispatch.
     pending: list[tuple[int, _CellTask, str | None]] = []
-    # Each flush pays a pool spin-up (TrialRunner.map opens a fresh
-    # ProcessPoolExecutor per call), so batches are sized to amortise it:
-    # large enough that worker startup is noise, small enough to bound
-    # memory at a few hundred windows' arrays.  Cannot affect results.
+    # On the "process" backend each flush pays a pool spin-up (a fresh
+    # ProcessPoolExecutor per map call), so batches are sized to amortise
+    # it: large enough that worker startup is noise, small enough to
+    # bound memory at a few hundred windows' arrays.  The "local" backend
+    # keeps one worker pool alive across flushes, which is exactly why
+    # one runner spans the whole stream.  Cannot affect results.
     dispatch_batch = max(256, 32 * runner.config.n_workers * (chunk_size or 1))
     n_windows = 0
     n_simulated = 0
@@ -587,38 +598,41 @@ def _run_matrix_streaming(
         n_simulated += len(pending)
         pending.clear()
 
-    for window in windows:
-        if n_windows == 0:
-            nmax = _resolve_nmax(config, window.workload.nmax)
-            if name is None:
-                name = _WINDOW_SUFFIX.sub("", window.workload.name)
-        window.workload.validate_for_machine(nmax)
-        registry.inc("eval.windows.streamed")
-        n_windows += 1
-        for policy in config.policies:
-            for backfill in config.backfill:
-                (child,) = seed_root.spawn(1)
-                seed = int(child.generate_state(1, np.uint64)[0])
-                key = None
-                if store is not None:
-                    key = _cell_key(window, config, nmax, policy, backfill)
-                    entry = store.load_json(key)
-                    hit = CellResult.from_entry(entry) if entry is not None else None
-                    if hit is not None:
-                        registry.inc("eval.cells.cached")
-                        cells.append(replace(hit, window=window.index, seed=seed))
-                        continue
-                cells.append(None)
-                pending.append(
-                    (
-                        len(cells) - 1,
-                        _cell_task_for(window, policy, backfill, config, nmax, seed),
-                        key,
+    try:
+        for window in windows:
+            if n_windows == 0:
+                nmax = _resolve_nmax(config, window.workload.nmax)
+                if name is None:
+                    name = _WINDOW_SUFFIX.sub("", window.workload.name)
+            window.workload.validate_for_machine(nmax)
+            registry.inc("eval.windows.streamed")
+            n_windows += 1
+            for policy in config.policies:
+                for backfill in config.backfill:
+                    (child,) = seed_root.spawn(1)
+                    seed = int(child.generate_state(1, np.uint64)[0])
+                    key = None
+                    if store is not None:
+                        key = _cell_key(window, config, nmax, policy, backfill)
+                        entry = store.load_json(key)
+                        hit = CellResult.from_entry(entry) if entry is not None else None
+                        if hit is not None:
+                            registry.inc("eval.cells.cached")
+                            cells.append(replace(hit, window=window.index, seed=seed))
+                            continue
+                    cells.append(None)
+                    pending.append(
+                        (
+                            len(cells) - 1,
+                            _cell_task_for(window, policy, backfill, config, nmax, seed),
+                            key,
+                        )
                     )
-                )
-        if len(pending) >= dispatch_batch:
-            flush()
-    flush()
+            if len(pending) >= dispatch_batch:
+                flush()
+        flush()
+    finally:
+        runner.close()
     if n_windows == 0:
         raise ValueError(
             "no evaluation windows survived slicing; enlarge the window or"

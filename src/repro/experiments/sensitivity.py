@@ -78,6 +78,7 @@ def seed_sweep(
     *,
     policies: tuple[str, ...] = ("FCFS", "SPT", "F1"),
     workers: int | str = 1,
+    backend: str = "process",
 ) -> SeedSweepResult:
     """Re-run one Table 4 row under several workload seeds.
 
@@ -88,8 +89,10 @@ def seed_sweep(
     if not seeds:
         raise ValueError("need at least one seed")
     specs = [(row, scale, int(seed), tuple(policies)) for seed in seeds]
-    runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=1))
-    medians = dict(runner.map(_seed_point, specs, phase="seeds"))
+    with TrialRunner(
+        ExecutorConfig(workers=workers, chunk_size=1, backend=backend)
+    ) as runner:
+        medians = dict(runner.map(_seed_point, specs, phase="seeds"))
     return SeedSweepResult(
         row_id=row.row_id, seeds=tuple(int(s) for s in seeds), medians=medians
     )

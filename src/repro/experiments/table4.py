@@ -222,6 +222,7 @@ def run_rows(
     seed: int = 0,
     policies: tuple[str, ...] = POLICY_COLUMNS,
     workers: int | str = 1,
+    backend: str = "process",
     progress: Callable[[str, int, int], None] | None = None,
 ) -> list[DynamicExperimentResult]:
     """Run several Table 4 rows, optionally fanned over worker processes.
@@ -238,8 +239,10 @@ def run_rows(
     # custom / modified rows run as given rather than being re-resolved
     # against the registry by id.
     specs = [(r, scale, seed, tuple(policies)) for r in row_list]
-    runner = TrialRunner(ExecutorConfig(workers=workers, chunk_size=1))
-    return runner.map(_row_task, specs, phase="rows", progress=progress)
+    with TrialRunner(
+        ExecutorConfig(workers=workers, chunk_size=1, backend=backend)
+    ) as runner:
+        return runner.map(_row_task, specs, phase="rows", progress=progress)
 
 
 # Consistency guard: every declared row must have published numbers.

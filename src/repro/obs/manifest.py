@@ -3,7 +3,7 @@
 A *run manifest* (``run_manifest.json``) is written beside every report
 when telemetry is enabled (``--telemetry``): the spec identity
 (canonical fingerprint plus, for ``pwa:<name>`` traces, the registry's
-pinned content hash), the execution knobs (workers, seed), cache
+pinned content hash), the execution knobs (workers, backend, seed), cache
 hit/miss/byte accounting, per-phase wall-time durations (from the
 tracer's top-level spans), jobs/events simulated and the resulting
 jobs/sec.  ``repro-sched stats RUN_DIR`` renders it back as a terminal
@@ -94,6 +94,7 @@ def build_manifest(
     command: str | None = None,
     workers: int | str | None = None,
     chunk_size: int | None = None,
+    backend: str | None = None,
     wall_seconds: float | None = None,
 ) -> dict:
     """Assemble the manifest document from one run's telemetry.
@@ -117,7 +118,17 @@ def build_manifest(
         "execution": {
             "workers": workers,
             "chunk_size": chunk_size,
+            "backend": backend,
             "argv": list(sys.argv[1:]) if sys.argv else [],
+        },
+        "runtime": {
+            "shards": registry.timer_count("runtime.shard.wall"),
+            "queue_tasks": counters.get("runtime.queue.tasks", 0),
+            "queue_takeovers": counters.get("runtime.queue.takeovers", 0),
+            "queue_worker_deaths": counters.get(
+                "runtime.queue.worker_deaths", 0
+            ),
+            "queue_respawns": counters.get("runtime.queue.respawns", 0),
         },
         "machine": machine_info(),
         "phases": phases,
@@ -205,10 +216,23 @@ def render_manifest(doc: dict) -> str:
         for field, src in (spec.get("sources") or {}).items():
             lines.append(f"  {field}: {src['ref']} (identity {src['identity']})")
     lines.append(
-        "  execution: workers={} seed={}".format(
-            execution.get("workers"), execution.get("seed")
+        "  execution: workers={} backend={} seed={}".format(
+            execution.get("workers"),
+            execution.get("backend"),
+            execution.get("seed"),
         )
     )
+    runtime = doc.get("runtime") or {}
+    if runtime.get("queue_tasks"):
+        lines.append(
+            "  workqueue: {} tasks, {} takeovers, {} worker deaths,"
+            " {} respawns".format(
+                runtime.get("queue_tasks", 0),
+                runtime.get("queue_takeovers", 0),
+                runtime.get("queue_worker_deaths", 0),
+                runtime.get("queue_respawns", 0),
+            )
+        )
     lines.append(
         "  machine: python {} on {} ({} cores)".format(
             machine.get("python"), machine.get("machine"), machine.get("cpu_count")

@@ -1,0 +1,229 @@
+"""Pluggable executor backends: the contract behind :class:`TrialRunner`.
+
+:class:`~repro.runtime.executor.TrialRunner` turns a work-list into a
+deterministic shard plan and a list of :class:`ChunkCall`\\ s — picklable
+``(fn, args)`` pairs whose invocation returns ``(index, result)`` pairs
+plus an optional worker-metrics snapshot.  *How* those calls become
+running processes is the backend's business, and only the backend's:
+
+* :class:`ProcessPoolBackend` (``"process"``) — a fresh
+  ``ProcessPoolExecutor`` per fan-out; the historical default.
+* :class:`~repro.runtime.localpool.LocalPoolBackend` (``"local"``) —
+  persistent workers pulling from one shared queue (work-stealing), so
+  repeated fan-outs (streamed evaluation batches) pay the spawn cost
+  once.
+* :class:`~repro.runtime.workqueue.WorkQueueBackend` (``"workqueue"``) —
+  a filesystem task queue with lease/heartbeat retry, so a killed
+  worker's chunks are re-dispatched and a resumed run loses nothing.
+
+Backend contract
+----------------
+1. **Determinism.**  ``execute`` must place each returned
+   ``(index, result)`` pair into ``slots[index]`` and nothing else —
+   results are bit-identical across backends because the chunk
+   functions are pure and the slots are index-addressed.  A backend may
+   reorder, retry or duplicate *execution*; it must never reorder,
+   drop or duplicate *slot assignment* (duplicated execution of a pure
+   call writes the same bytes twice, which is idempotent).
+2. **Telemetry.**  Backends account shards through
+   :class:`ShardAccounting` so the counter names the manifest and
+   benchmarks rely on (``runtime.pool``, ``runtime.shard.wall``,
+   ``runtime.shard.overhead``, ``runtime.chunk``,
+   ``runtime.worker_utilization``) mean the same thing everywhere.
+   Each completed chunk's worker-metrics snapshot is merged exactly
+   once, so merged parallel counters equal serial counters.
+3. **Errors.**  A failing chunk raises out of ``execute`` promptly; a
+   backend must not silently swallow work (the work-queue backend
+   retries dead *workers*, not failing *calls* — an exception raised by
+   the chunk function itself is fatal on every backend).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.obs.metrics import current_registry
+from repro.runtime.config import BACKEND_NAMES, ExecutorConfig
+from repro.runtime.progress import ProgressAggregator
+
+__all__ = [
+    "ChunkCall",
+    "ExecutorBackend",
+    "ProcessPoolBackend",
+    "ShardAccounting",
+    "create_backend",
+]
+
+
+@dataclass(frozen=True)
+class ChunkCall:
+    """One dispatchable unit of work: ``fn(*args)``.
+
+    *fn* must be a module-level callable with picklable *args*, returning
+    ``(pairs, metrics)`` where *pairs* is a list of ``(item_index,
+    result)`` and *metrics* is a plain-dict registry snapshot or
+    ``None`` (see :mod:`repro.runtime.worker`).  *size* is the number of
+    work-list items the call covers, used only for progress reporting.
+    """
+
+    fn: Callable
+    args: tuple
+    size: int
+
+    def run(self) -> tuple[list[tuple[int, object]], dict | None]:
+        """Invoke the call in-process (used by serial paths and tests)."""
+        return self.fn(*self.args)
+
+
+class ShardAccounting:
+    """Shared per-fan-out telemetry bookkeeping for every backend.
+
+    Keeps the counter names and semantics identical across backends:
+    ``runtime.shard.wall`` is parent-observed latency from dispatch to
+    result (spawn + pickling + queueing + compute), ``runtime.chunk``
+    (merged from the worker snapshot) is in-worker compute,
+    ``runtime.shard.overhead`` the non-negative excess of wall over
+    compute, ``runtime.pool`` the whole fan-out, and
+    ``runtime.worker_utilization`` compute-seconds over worker-seconds.
+    """
+
+    def __init__(self) -> None:
+        self.registry = current_registry()
+        self.compute_seconds = 0.0
+
+    def record_shard(self, wall: float, worker_metrics: dict | None) -> None:
+        """Account one completed chunk (merges its metrics exactly once)."""
+        self.registry.add_time("runtime.shard.wall", wall)
+        if worker_metrics is not None:
+            self.registry.merge(worker_metrics)
+            chunk = (
+                worker_metrics.get("timers", {})
+                .get("runtime.chunk", {})
+                .get("seconds", 0.0)
+            )
+            self.compute_seconds += chunk
+            self.registry.add_time(
+                "runtime.shard.overhead", max(0.0, wall - chunk)
+            )
+
+    def finish(self, pool_seconds: float, n_workers: int) -> None:
+        """Account the whole fan-out once all chunks are in."""
+        self.registry.add_time("runtime.pool", pool_seconds)
+        if self.compute_seconds and pool_seconds > 0:
+            self.registry.set_gauge(
+                "runtime.worker_utilization",
+                self.compute_seconds / (pool_seconds * max(n_workers, 1)),
+            )
+
+
+class ExecutorBackend(ABC):
+    """How a list of :class:`ChunkCall`\\ s becomes running processes."""
+
+    #: Registered name (must appear in
+    #: :data:`repro.runtime.config.BACKEND_NAMES`).
+    name: ClassVar[str]
+
+    #: Whether ``workers=1`` may short-circuit to the dispatcher's
+    #: in-process loop.  True for backends whose single-worker execution
+    #: is equivalent to it; the work-queue backend sets it False so the
+    #: queue protocol (and its fault injection) is exercised even with
+    #: one worker.
+    inline_serial: ClassVar[bool] = True
+
+    def __init__(self, config: ExecutorConfig) -> None:
+        self.config = config
+
+    def mp_context(self) -> multiprocessing.context.BaseContext:
+        """The multiprocessing context the config asks for."""
+        return multiprocessing.get_context(self.config.mp_start_method)
+
+    @abstractmethod
+    def execute(
+        self,
+        calls: Sequence[ChunkCall],
+        n_items: int,
+        aggregator: ProgressAggregator,
+    ) -> list:
+        """Run every call; return the ``n_items`` results by item index.
+
+        Implementations fill ``slots[index] = result`` for every
+        ``(index, result)`` pair a call returns, advance *aggregator* by
+        ``call.size`` as calls complete, and account telemetry through
+        :class:`ShardAccounting`.
+        """
+
+    def close(self) -> None:
+        """Release any persistent resources (idempotent; default no-op)."""
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """The historical default: one ``ProcessPoolExecutor`` per fan-out.
+
+    Simple and robust — every fan-out gets a fresh pool sized
+    ``min(workers, n_calls)`` — but pays process spawn + import cost per
+    fan-out, which is what the ``local`` backend exists to amortise.
+    """
+
+    name = "process"
+
+    def execute(
+        self,
+        calls: Sequence[ChunkCall],
+        n_items: int,
+        aggregator: ProgressAggregator,
+    ) -> list:
+        slots: list = [None] * n_items
+        n_workers = min(self.config.n_workers, max(len(calls), 1))
+        acct = ShardAccounting()
+        t_pool = time.perf_counter()
+        context = (
+            self.mp_context() if self.config.mp_start_method is not None else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(call.fn, *call.args): (call, time.perf_counter())
+                for call in calls
+            }
+            try:
+                for future in as_completed(futures):
+                    pairs, worker_metrics = future.result()
+                    call, t_submit = futures[future]
+                    acct.record_shard(
+                        time.perf_counter() - t_submit, worker_metrics
+                    )
+                    for index, result in pairs:
+                        slots[index] = result
+                    aggregator.advance(call.size)
+            except BaseException:
+                # Don't let queued chunks run to completion behind a
+                # fatal error — surface it as soon as it happens.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        acct.finish(time.perf_counter() - t_pool, n_workers)
+        return slots
+
+
+def create_backend(config: ExecutorConfig) -> ExecutorBackend:
+    """Instantiate the backend *config* names (lazy imports, no cycles)."""
+    if config.backend == "process":
+        return ProcessPoolBackend(config)
+    if config.backend == "local":
+        from repro.runtime.localpool import LocalPoolBackend
+
+        return LocalPoolBackend(config)
+    if config.backend == "workqueue":
+        from repro.runtime.workqueue import WorkQueueBackend
+
+        return WorkQueueBackend(config)
+    raise ValueError(  # pragma: no cover - config validation catches this
+        f"unknown executor backend {config.backend!r}; "
+        f"valid backends: {', '.join(BACKEND_NAMES)}"
+    )

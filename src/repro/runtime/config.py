@@ -2,13 +2,17 @@
 
 :class:`ExecutorConfig` is the single declarative knob set every parallel
 entry point accepts: how many worker processes, how the work-list is cut
-into chunks, and which multiprocessing start method to use.  Worker
-counts accept the literal string ``"auto"`` (one worker per CPU), so CLI
-flags and environment variables can pass user input straight through.
+into chunks, which multiprocessing start method to use, and which
+:mod:`executor backend <repro.runtime.backends>` dispatches the chunks.
+Worker counts accept the literal string ``"auto"`` (one worker per CPU),
+so CLI flags and environment variables can pass user input straight
+through.
 
-Determinism note: nothing in this module influences *results* — workers
-and chunk sizes only change how the deterministic work-list is dispatched
-(see :mod:`repro.runtime.sharding`), never the per-item random streams.
+Determinism note: nothing in this module influences *results* — workers,
+chunk sizes and backends only change how the deterministic work-list is
+dispatched (see :mod:`repro.runtime.sharding`), never the per-item
+random streams.  None of these fields may ever enter a fingerprint or
+cache key.
 """
 
 from __future__ import annotations
@@ -16,7 +20,39 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-__all__ = ["ExecutorConfig", "resolve_workers"]
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "ExecutorConfig",
+    "resolve_backend",
+    "resolve_workers",
+]
+
+#: Registered executor backend names, in documentation order.  The
+#: implementations live in :mod:`repro.runtime.backends` (process),
+#: :mod:`repro.runtime.localpool` (local) and
+#: :mod:`repro.runtime.workqueue` (workqueue); this tuple lives here so
+#: config validation does not import them.
+BACKEND_NAMES = ("process", "local", "workqueue")
+
+DEFAULT_BACKEND = "process"
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Coerce a backend spec to a registered backend name.
+
+    ``None`` falls back to ``$REPRO_BACKEND`` and then to
+    :data:`DEFAULT_BACKEND`.  Unknown names raise ``ValueError`` naming
+    the valid choices.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; "
+            f"valid backends: {', '.join(BACKEND_NAMES)}"
+        )
+    return backend
 
 
 def resolve_workers(workers: int | str) -> int:
@@ -62,16 +98,40 @@ class ExecutorConfig:
     mp_start_method:
         Forwarded to :func:`multiprocessing.get_context` (``"fork"``,
         ``"spawn"``, ...).  ``None`` uses the platform default.
+    backend:
+        Which :class:`~repro.runtime.backends.ExecutorBackend` runs the
+        chunks — one of :data:`BACKEND_NAMES`.  ``"process"`` (default)
+        is a per-fan-out ``ProcessPoolExecutor``; ``"local"`` keeps
+        persistent workers pulling from a shared queue (work-stealing);
+        ``"workqueue"`` dispatches through a filesystem queue with
+        lease/heartbeat retry.  Like every other field here, the backend
+        can never change a result.
+    queue_dir:
+        Root directory for the ``workqueue`` backend's task/lease/result
+        files.  ``None`` uses ``$REPRO_QUEUE_DIR`` or a temp directory.
+        Ignored by the other backends.
+    lease_timeout:
+        Seconds without a heartbeat before a ``workqueue`` task lease is
+        considered stale and another worker may take it over.  ``None``
+        uses ``$REPRO_QUEUE_LEASE_TIMEOUT`` or 30 seconds.
     """
 
     workers: int | str = 1
     chunk_size: int | None = None
     mp_start_method: str | None = None
+    backend: str = DEFAULT_BACKEND
+    queue_dir: str | None = None
+    lease_timeout: float | None = None
 
     def __post_init__(self) -> None:
         resolve_workers(self.workers)  # fail fast on bad specs
+        resolve_backend(self.backend)
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.lease_timeout is not None and self.lease_timeout <= 0:
+            raise ValueError(
+                f"lease_timeout must be > 0, got {self.lease_timeout}"
+            )
 
     @property
     def n_workers(self) -> int:

@@ -1,13 +1,19 @@
-"""The worker-pool executor: :class:`TrialRunner`.
+"""The work-list dispatcher: :class:`TrialRunner`.
 
 ``TrialRunner`` owns the fan-out of embarrassingly parallel work-lists —
 the per-tuple permutation trials of the training pipeline
 (:meth:`TrialRunner.run_tuple_trials`) and arbitrary experiment tasks
-(:meth:`TrialRunner.map`, used for Table 4 rows and sensitivity sweeps).
+(:meth:`TrialRunner.map`, used for Table 4 rows, evaluation cells and
+sensitivity sweeps).  It turns a work-list into a deterministic shard
+plan and a list of picklable :class:`~repro.runtime.backends.ChunkCall`\\ s,
+then hands execution to the configured
+:class:`~repro.runtime.backends.ExecutorBackend` (``process``, ``local``
+or ``workqueue`` — see :mod:`repro.runtime.backends`).
 
 Determinism contract
 --------------------
-Results are **bit-identical** for every ``(workers, chunk_size)``:
+Results are **bit-identical** for every ``(workers, chunk_size,
+backend)``:
 
 * the work-list and its per-item seed sequences are fully materialised
   *before* dispatch (item ``k`` always gets child ``k`` of the root
@@ -16,16 +22,23 @@ Results are **bit-identical** for every ``(workers, chunk_size)``:
   nondeterministic — only affects progress-reporting order, never the
   position a result lands in;
 * ``workers=1`` short-circuits to a plain in-process loop (no pool, no
-  pickling), preserving the pre-runtime code path byte for byte.
+  pickling) on backends that allow it (``inline_serial``), preserving
+  the pre-runtime code path byte for byte; the work-queue backend opts
+  out so its queue protocol is exercised even single-worker — and its
+  results are identical anyway, because the chunk functions are pure.
+
+Lifecycle: backends may hold persistent resources (the ``local``
+backend keeps its worker processes alive between fan-outs), so runners
+are context managers — ``with TrialRunner(cfg) as runner: ...`` — or
+call :meth:`TrialRunner.close` when done.  The serial path and the
+``process`` backend hold nothing, so forgetting to close is harmless
+there.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
 import warnings
 from collections.abc import Callable, Sequence
-from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 
 import numpy as np
 
@@ -38,6 +51,7 @@ from repro.core.trials import (
     run_trials,
 )
 from repro.obs.metrics import current_registry
+from repro.runtime.backends import ChunkCall, ExecutorBackend, create_backend
 from repro.runtime.config import ExecutorConfig
 from repro.runtime.progress import ProgressAggregator, ProgressCallback
 from repro.runtime.sharding import plan_shards
@@ -49,91 +63,33 @@ __all__ = ["TrialRunner"]
 
 
 class TrialRunner:
-    """Dispatch deterministic work-lists over a process pool."""
+    """Dispatch deterministic work-lists over an executor backend."""
 
     def __init__(self, config: ExecutorConfig | None = None) -> None:
         self.config = config or ExecutorConfig()
+        self._backend: ExecutorBackend | None = None
 
-    # ------------------------------------------------------------------
-    # pool plumbing
-    # ------------------------------------------------------------------
-    def _pool(self, n_shards: int) -> ProcessPoolExecutor:
-        context = (
-            multiprocessing.get_context(self.config.mp_start_method)
-            if self.config.mp_start_method is not None
-            else None
-        )
-        return ProcessPoolExecutor(
-            max_workers=min(self.config.n_workers, max(n_shards, 1)),
-            mp_context=context,
-        )
+    @property
+    def backend(self) -> ExecutorBackend:
+        """The backend instance (created lazily on first use)."""
+        if self._backend is None:
+            self._backend = create_backend(self.config)
+        return self._backend
 
-    def _fan_out(
-        self,
-        n_items: int,
-        shards: list[range],
-        submit_chunk: Callable[[ProcessPoolExecutor, range], Future],
-        aggregator: ProgressAggregator,
-    ) -> list:
-        """Dispatch shards over a pool; reassemble results by item index.
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        if self._backend is not None:
+            self._backend.close()
 
-        ``submit_chunk(pool, shard)`` must return a future resolving to
-        ``((index, result) pairs, worker-metrics-or-None)`` for that
-        shard's items.  Completion order only affects progress-reporting
-        order — and, with telemetry enabled, which order worker metric
-        snapshots merge in, which cannot change the merged totals.
+    def __enter__(self) -> "TrialRunner":
+        return self
 
-        Telemetry (ambient registry, no-op by default): ``runtime.pool``
-        times the whole fan-out, ``runtime.shard.wall`` accumulates
-        parent-observed shard latency (submit to completion: spawn +
-        pickling + queueing + compute), ``runtime.shard.overhead`` its
-        excess over the worker-reported in-process ``runtime.chunk``
-        compute, and the ``runtime.worker_utilization`` gauge is the
-        pool's compute-seconds over its worker-seconds.
-        """
-        registry = current_registry()
-        slots: list = [None] * n_items
-        n_workers = min(self.config.n_workers, max(len(shards), 1))
-        t_pool = time.perf_counter()
-        compute_seconds = 0.0
-        with self._pool(len(shards)) as pool:
-            futures = {
-                submit_chunk(pool, shard): (shard, time.perf_counter())
-                for shard in shards
-            }
-            try:
-                for future in as_completed(futures):
-                    pairs, worker_metrics = future.result()
-                    shard, t_submit = futures[future]
-                    wall = time.perf_counter() - t_submit
-                    registry.add_time("runtime.shard.wall", wall)
-                    if worker_metrics is not None:
-                        registry.merge(worker_metrics)
-                        chunk = (
-                            worker_metrics.get("timers", {})
-                            .get("runtime.chunk", {})
-                            .get("seconds", 0.0)
-                        )
-                        compute_seconds += chunk
-                        registry.add_time(
-                            "runtime.shard.overhead", max(0.0, wall - chunk)
-                        )
-                    for index, result in pairs:
-                        slots[index] = result
-                    aggregator.advance(len(shard))
-            except BaseException:
-                # Don't let queued chunks run to completion behind a
-                # fatal error — surface it as soon as it happens.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
-        pool_seconds = time.perf_counter() - t_pool
-        registry.add_time("runtime.pool", pool_seconds)
-        if compute_seconds and pool_seconds > 0:
-            registry.set_gauge(
-                "runtime.worker_utilization",
-                compute_seconds / (pool_seconds * n_workers),
-            )
-        return slots
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _serial_inline(self) -> bool:
+        """Whether this config runs the in-process serial loop."""
+        return self.config.n_workers == 1 and type(self.backend).inline_serial
 
     # ------------------------------------------------------------------
     # trial simulation
@@ -153,8 +109,9 @@ class TrialRunner:
         """Run every tuple's permutation trials, serial or fanned out.
 
         Tuple ``k`` always simulates under child ``k`` of *root_seed*,
-        so the returned list is bit-identical for any worker count or
-        chunk size (including the ``workers=1`` in-process path).
+        so the returned list is bit-identical for any worker count,
+        chunk size or backend (including the ``workers=1`` in-process
+        path).
         """
         n = len(tuples)
         seeds = spawn_seed_sequences(root_seed, n)
@@ -178,7 +135,7 @@ class TrialRunner:
                     format_rounding_warning(trials_per_tuple, m_q), stacklevel=2
                 )
 
-        if self.config.n_workers == 1:
+        if self._serial_inline():
             results: list[TrialScoreResult] = []
             with warnings.catch_warnings():
                 warnings.filterwarnings("ignore", message=ROUNDING_WARNING_PREFIX)
@@ -199,20 +156,22 @@ class TrialRunner:
         items = [(i, tup, seedseq) for i, (tup, seedseq) in enumerate(zip(tuples, seeds))]
         shards = plan_shards(n, self.config.chunk_for(n))
         collect = current_registry().enabled
-        slots = self._fan_out(
-            n,
-            shards,
-            lambda pool, shard: pool.submit(
+        calls = [
+            ChunkCall(
                 run_trial_chunk,
-                [items[i] for i in shard],
-                nmax,
-                trials_per_tuple,
-                balanced,
-                tau,
-                collect,
-            ),
-            aggregator,
-        )
+                (
+                    [items[i] for i in shard],
+                    nmax,
+                    trials_per_tuple,
+                    balanced,
+                    tau,
+                    collect,
+                ),
+                len(shard),
+            )
+            for shard in shards
+        ]
+        slots = self.backend.execute(calls, n, aggregator)
         missing = [i for i, r in enumerate(slots) if r is None]
         if missing:
             raise RuntimeError(
@@ -234,8 +193,8 @@ class TrialRunner:
         """``[fn(x) for x in items]`` with the runtime's dispatch policy.
 
         *fn* must be a module-level callable (or a ``functools.partial``
-        of one) with picklable arguments when ``workers > 1``.  Result
-        order always matches item order.  Unlike
+        of one) with picklable arguments when a worker process runs it.
+        Result order always matches item order.  Unlike
         :meth:`run_tuple_trials` the default chunk here is 1 — map tasks
         (whole experiment rows) are coarse enough that load balancing
         beats batching.
@@ -243,7 +202,7 @@ class TrialRunner:
         n = len(items)
         aggregator = ProgressAggregator(progress, phase, n)
 
-        if self.config.n_workers == 1:
+        if self._serial_inline():
             results = []
             for item in items:
                 results.append(fn(item))
@@ -254,12 +213,11 @@ class TrialRunner:
         chunk = self.config.chunk_size if self.config.chunk_size is not None else 1
         shards = plan_shards(n, chunk)
         collect = current_registry().enabled
+        calls = [
+            ChunkCall(
+                call_chunk, (fn, [indexed[i] for i in shard], collect), len(shard)
+            )
+            for shard in shards
+        ]
         # No missing-slot guard here: None is a legitimate fn return value.
-        return self._fan_out(
-            n,
-            shards,
-            lambda pool, shard: pool.submit(
-                call_chunk, fn, [indexed[i] for i in shard], collect
-            ),
-            aggregator,
-        )
+        return self.backend.execute(calls, n, aggregator)

@@ -1,0 +1,183 @@
+"""The ``local`` executor backend: persistent work-stealing workers.
+
+``ProcessPoolExecutor`` (the ``process`` backend) pays process spawn +
+interpreter import on *every* fan-out, which dominates small-trial runs
+— ``bench_runtime_scaling`` showed the curve going backwards.  This
+backend starts its workers **once**, lazily on the first
+:meth:`~LocalPoolBackend.execute`, and keeps them alive across fan-outs:
+streamed evaluation batches and repeated sweep phases reuse the same
+processes, so only the first dispatch pays the spawn.
+
+Scheduling is work-stealing by construction: all workers pull from one
+shared task queue, so a worker that finishes early immediately takes the
+next chunk instead of idling behind a static partition.  Results come
+back on a shared result queue tagged ``(generation, call_id)``; the
+generation counter makes dispatches self-contained — anything a worker
+produces for an aborted earlier ``execute`` is discarded, never
+misfiled.
+
+Determinism is inherited from the chunk functions: calls are pure and
+results are placed by item index, so completion order (which worker
+stole which chunk, and when) cannot change a byte of output.
+
+Failure semantics are fail-fast, like the ``process`` backend: a chunk
+that raises, or a worker that dies, aborts the fan-out with a
+``RuntimeError``.  Retry/resume is the ``workqueue`` backend's job.
+"""
+
+from __future__ import annotations
+
+import atexit
+import queue as queue_mod
+import time
+import traceback
+from collections.abc import Sequence
+
+from repro.runtime.backends import ChunkCall, ExecutorBackend, ShardAccounting
+from repro.runtime.progress import ProgressAggregator
+
+__all__ = ["LocalPoolBackend"]
+
+#: How long the dispatcher waits on the result queue before checking
+#: worker liveness.  Only affects crash-detection latency.
+_POLL_SECONDS = 0.2
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker-process loop: pull ``(gen, call_id, fn, args)``, run, reply.
+
+    A ``None`` task is the shutdown pill.  Exceptions are shipped back as
+    data (formatted traceback) rather than crashing the worker, so one
+    bad chunk fails its fan-out without killing the pool.
+    """
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        gen, call_id, fn, args = task
+        try:
+            result_queue.put((gen, call_id, True, fn(*args)))
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            result_queue.put((gen, call_id, False, detail))
+
+
+class LocalPoolBackend(ExecutorBackend):
+    """Persistent shared-queue worker pool (see module docstring)."""
+
+    name = "local"
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        self._workers: list = []
+        self._task_queue = None
+        self._result_queue = None
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._workers:
+            return
+        ctx = self.mp_context()
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(self._task_queue, self._result_queue),
+                daemon=True,
+                name=f"repro-local-{i}",
+            )
+            for i in range(self.config.n_workers)
+        ]
+        for proc in self._workers:
+            proc.start()
+        # Workers are daemons (they die with the parent), but close them
+        # politely at interpreter exit so queues flush.
+        atexit.register(self.close)
+
+    def _check_workers(self) -> None:
+        dead = [p for p in self._workers if not p.is_alive()]
+        if dead:
+            codes = ", ".join(f"{p.name} exit {p.exitcode}" for p in dead)
+            self.close()
+            raise RuntimeError(
+                f"local backend worker died mid-fan-out ({codes}); "
+                "results cannot be trusted to arrive — use the workqueue "
+                "backend for crash retry"
+            )
+
+    def close(self) -> None:
+        workers, self._workers = self._workers, []
+        if not workers:
+            return
+        atexit.unregister(self.close)
+        for proc in workers:
+            if proc.is_alive():
+                try:
+                    self._task_queue.put(None)
+                except (OSError, ValueError):  # queue already torn down
+                    break
+        deadline = time.monotonic() + 2.0
+        for proc in workers:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        self._task_queue = None
+        self._result_queue = None
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        calls: Sequence[ChunkCall],
+        n_items: int,
+        aggregator: ProgressAggregator,
+    ) -> list:
+        self._ensure_started()
+        self._generation += 1
+        gen = self._generation
+        slots: list = [None] * n_items
+        acct = ShardAccounting()
+        t_pool = time.perf_counter()
+        submitted = {}
+        for call_id, call in enumerate(calls):
+            self._task_queue.put((gen, call_id, call.fn, call.args))
+            submitted[call_id] = time.perf_counter()
+        done = 0
+        while done < len(calls):
+            try:
+                r_gen, call_id, ok, payload = self._result_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_mod.Empty:
+                self._check_workers()
+                continue
+            if r_gen != gen:
+                # Straggler from an earlier, aborted dispatch.
+                continue
+            if not ok:
+                raise RuntimeError(
+                    f"local backend chunk {call_id} failed:\n{payload}"
+                )
+            pairs, worker_metrics = payload
+            acct.record_shard(
+                time.perf_counter() - submitted[call_id], worker_metrics
+            )
+            for index, result in pairs:
+                slots[index] = result
+            aggregator.advance(calls[call_id].size)
+            done += 1
+        acct.finish(
+            time.perf_counter() - t_pool,
+            min(self.config.n_workers, max(len(calls), 1)),
+        )
+        return slots
