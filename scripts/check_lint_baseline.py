@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Warn when lint suppression counts grow past the checked-in baseline.
+
+Companion to the hard-fail `repro-sched lint` CI gate, in the same
+shape as scripts/check_bench_regression.py: the gate keeps `src/` free
+of *active* findings, while this script watches the escape hatch — the
+per-rule count of `# repro: allow[...]` suppressions — against
+scripts/lint_baseline.json. Growth means the codebase is accumulating
+justified-but-real contract exceptions, which deserves a reviewer's
+eye without blocking the build.
+
+Warn-only by default (GitHub `::warning` annotations); `--strict`
+turns growth into a failure, `--update` rewrites the baseline from the
+current tree.
+
+Usage:
+    python scripts/check_lint_baseline.py [--strict] [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "scripts" / "lint_baseline.json"
+SUPPORTED_SCHEMA = 1
+
+
+def current_suppressions() -> dict[str, int]:
+    """Per-rule suppression counts from a fresh `lint src --format json`."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "src", "--format", "json"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    # Exit 1 means active findings; the hard gate owns that failure,
+    # but the JSON document is still complete and usable here.
+    doc = json.loads(proc.stdout)
+    if doc.get("schema") != SUPPORTED_SCHEMA:
+        raise SystemExit(
+            f"lint JSON schema {doc.get('schema')!r} is not the supported"
+            f" schema {SUPPORTED_SCHEMA}; update this script"
+        )
+    counts: Counter[str] = Counter(
+        f["rule"] for f in doc["findings"] if f["suppressed"]
+    )
+    return dict(sorted(counts.items()))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 1) on suppression growth instead of warning",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite scripts/lint_baseline.json from the current tree",
+    )
+    args = parser.parse_args()
+
+    current = current_suppressions()
+
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps({"suppressions": current}, indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline updated: {BASELINE_PATH}")
+        for rule, count in current.items():
+            print(f"  {rule}: {count}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(
+            f"::warning title=lint baseline::no baseline at {BASELINE_PATH};"
+            " run with --update to create one"
+        )
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    allowed: dict[str, int] = baseline.get("suppressions", {})
+
+    grown = []
+    for rule in sorted(set(current) | set(allowed)):
+        now, was = current.get(rule, 0), allowed.get(rule, 0)
+        marker = ""
+        if now > was:
+            grown.append((rule, was, now))
+            marker = "  <-- grew"
+        print(f"{rule}: {now} suppression(s) (baseline {was}){marker}")
+
+    if not grown:
+        print("suppression counts within baseline")
+        return 0
+
+    for rule, was, now in grown:
+        print(
+            f"::warning title=lint suppression growth::{rule} has {now}"
+            f" `# repro: allow` suppression(s), baseline is {was} —"
+            " justify the new exceptions or fix the findings, then"
+            " refresh with scripts/check_lint_baseline.py --update"
+        )
+    if args.strict:
+        print("FAIL: suppression counts grew (--strict)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""``[tool.repro-lint]`` configuration surface for the lint engine.
+
+Configuration is discovered the way formatters do it: starting from the
+first linted path, walk up the directory tree until a ``pyproject.toml``
+with a ``[tool.repro-lint]`` table or a standalone ``repro-lint.toml``
+is found (an explicit ``--config`` path wins over discovery).  The
+engine runs fine with no config at all — every rule ships enforceable
+defaults — so the table only holds deviations:
+
+.. code-block:: toml
+
+    [tool.repro-lint]
+    select = ["REP001", "REP004"]   # run only these rules
+    ignore = ["REP008"]             # or: run all but these
+    exclude = ["_vendored/"]        # module-relative path prefixes/globs
+
+    [tool.repro-lint.rules.REP006]
+    allow_paths = ["obs/", "runtime/progress.py", "tools/bench_clock.py"]
+
+    [tool.repro-lint.rules.REP004]
+    severity = "warning"
+
+Unknown top-level keys, unknown rule ids and unknown per-rule options
+all raise, naming the valid spellings — a typo'd config must never
+silently disable a contract.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["LintConfig", "LintConfigError", "load_config"]
+
+_TOP_LEVEL_KEYS = ("select", "ignore", "exclude", "rules")
+_CONFIG_BASENAMES = ("repro-lint.toml", "pyproject.toml")
+
+
+class LintConfigError(ValueError):
+    """A malformed ``[tool.repro-lint]`` document."""
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Parsed, validated lint configuration."""
+
+    select: tuple[str, ...] | None = None
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    rule_options: dict[str, dict] = field(default_factory=dict)
+    source: Path | None = None
+
+    def enabled(self, rule_id: str) -> bool:
+        """Whether *rule_id* survives the select/ignore filters."""
+        if self.select is not None and rule_id not in self.select:
+            return False
+        return rule_id not in self.ignore
+
+
+def _string_tuple(table: dict, key: str, source: Path | str) -> tuple[str, ...]:
+    value = table.get(key, [])
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise LintConfigError(
+            f"{source}: [tool.repro-lint] {key} must be a list of strings"
+        )
+    return tuple(value)
+
+
+def parse_table(table: dict, source: Path | str = "<config>") -> LintConfig:
+    """Validate one ``[tool.repro-lint]`` table into a :class:`LintConfig`."""
+    unknown = sorted(set(table) - set(_TOP_LEVEL_KEYS))
+    if unknown:
+        raise LintConfigError(
+            f"{source}: unknown [tool.repro-lint] key(s) {unknown}"
+            f" (valid keys: {', '.join(_TOP_LEVEL_KEYS)})"
+        )
+    select: tuple[str, ...] | None = None
+    if "select" in table:
+        select = tuple(s.upper() for s in _string_tuple(table, "select", source))
+    ignore = tuple(s.upper() for s in _string_tuple(table, "ignore", source))
+    exclude = _string_tuple(table, "exclude", source)
+    rules_table = table.get("rules", {})
+    if not isinstance(rules_table, dict):
+        raise LintConfigError(
+            f"{source}: [tool.repro-lint.rules] must be a table of rule ids"
+        )
+    rule_options: dict[str, dict] = {}
+    for rule_id, options in rules_table.items():
+        if not isinstance(options, dict):
+            raise LintConfigError(
+                f"{source}: [tool.repro-lint.rules.{rule_id}] must be a table"
+            )
+        rule_options[str(rule_id).upper()] = dict(options)
+    return LintConfig(
+        select=select,
+        ignore=ignore,
+        exclude=exclude,
+        rule_options=rule_options,
+        source=source if isinstance(source, Path) else None,
+    )
+
+
+def _table_from_file(path: Path) -> dict | None:
+    """The ``[tool.repro-lint]`` table of *path*, or ``None`` if absent."""
+    try:
+        with open(path, "rb") as fh:
+            doc = tomllib.load(fh)
+    except OSError:
+        return None
+    except tomllib.TOMLDecodeError as exc:
+        raise LintConfigError(f"{path}: not valid TOML: {exc}") from None
+    if path.name == "repro-lint.toml":
+        # A standalone file may spell the table either bare or nested.
+        table = doc.get("tool", {}).get("repro-lint", doc)
+        return table if table else None
+    table = doc.get("tool", {}).get("repro-lint")
+    return table if isinstance(table, dict) else None
+
+
+def load_config(
+    start: str | Path | None = None, explicit: str | Path | None = None
+) -> LintConfig:
+    """Discover and parse the lint configuration.
+
+    *explicit* names a config file directly (missing table -> empty
+    config; missing file -> error).  Otherwise the search walks from
+    *start* (a linted file or directory; default: the working
+    directory) upward, taking the first ``repro-lint.toml`` or
+    ``pyproject.toml`` that carries the table.
+    """
+    if explicit is not None:
+        path = Path(explicit)
+        if not path.is_file():
+            raise LintConfigError(f"config file not found: {path}")
+        table = _table_from_file(path)
+        return parse_table(table or {}, path)
+    base = Path(start) if start is not None else Path.cwd()
+    base = base.resolve()
+    if base.is_file():
+        base = base.parent
+    for directory in (base, *base.parents):
+        for basename in _CONFIG_BASENAMES:
+            candidate = directory / basename
+            if candidate.is_file():
+                table = _table_from_file(candidate)
+                if table is not None:
+                    return parse_table(table, candidate)
+    return LintConfig()

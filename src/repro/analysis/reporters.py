@@ -1,0 +1,105 @@
+"""Output formats for lint results: terminal, JSON, GitHub annotations.
+
+All three render the same :class:`~repro.analysis.engine.LintResult`
+deterministically (findings arrive pre-sorted from the engine; JSON is
+key-sorted), so CI can diff and baseline them.
+
+The JSON schema (version 1, consumed by
+``scripts/check_lint_baseline.py`` and documented in
+docs/invariants.md)::
+
+    {
+      "schema": 1,
+      "tool": "repro-lint",
+      "files_scanned": <int>,
+      "summary": {"errors": n, "warnings": n, "suppressed": n},
+      "rules": {"REP001": {"name": ..., "severity": ..., "contract": ...,
+                 "rationale": ..., "backstop": ..., "paths": ...,
+                 "allow_paths": ...}, ...},
+      "findings": [{"rule": "REP001", "path": "src/...", "line": n,
+                    "col": n, "severity": "error", "message": ...,
+                    "suppressed": false, "suppress_reason": null}, ...]
+    }
+
+Suppressed findings stay in ``findings`` (with their reason) — that is
+what makes suppression growth measurable — but are excluded from the
+summary's error/warning counts, the GitHub annotations and the exit
+code.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_github", "render_json",
+           "render_terminal"]
+
+#: Bump on incompatible JSON-report changes so the baseline script can
+#: reject documents it would misread.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_terminal(result: LintResult) -> str:
+    """Human-readable report: one line per active finding + summary."""
+    lines = []
+    for f in result.active:
+        lines.append(
+            f"{f.path}:{f.line}:{f.col}: {f.rule} {f.severity}: {f.message}"
+        )
+    errors = sum(1 for f in result.active if f.severity == "error")
+    warnings = sum(1 for f in result.active if f.severity == "warning")
+    lines.append(
+        f"checked {result.files_scanned} file(s):"
+        f" {errors} error(s), {warnings} warning(s),"
+        f" {len(result.suppressed)} suppressed"
+    )
+    if result.suppressed:
+        lines.append("suppressed (inline `# repro: allow[...]`):")
+        for f in result.suppressed:
+            lines.append(
+                f"  {f.path}:{f.line}: {f.rule} — {f.suppress_reason}"
+            )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (schema above), key-sorted, newline-terminated."""
+    errors = sum(1 for f in result.active if f.severity == "error")
+    warnings = sum(1 for f in result.active if f.severity == "warning")
+    doc = {
+        "schema": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "files_scanned": result.files_scanned,
+        "summary": {
+            "errors": errors,
+            "warnings": warnings,
+            "suppressed": len(result.suppressed),
+        },
+        "rules": {rule.id: rule.describe() for rule in result.rules},
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions workflow annotations (``::error`` / ``::warning``).
+
+    Active findings only; the summary line at the end keeps the raw log
+    readable outside Actions.
+    """
+    lines = []
+    for f in result.active:
+        command = "error" if f.severity == "error" else "warning"
+        message = f.message.replace("\n", " ")
+        lines.append(
+            f"::{command} file={f.path},line={f.line},col={f.col},"
+            f"title={f.rule}::{message}"
+        )
+    errors = sum(1 for f in result.active if f.severity == "error")
+    lines.append(
+        f"repro-lint: {result.files_scanned} file(s),"
+        f" {errors} error(s), {len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)

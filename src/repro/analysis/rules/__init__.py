@@ -1,0 +1,48 @@
+"""Rule registry for the repro lint engine.
+
+One module per rule, one registered class per module; the registry
+returns *fresh* rule instances (rules are mutable via per-run
+configuration, so instances are never shared between engine runs).
+Rule ids are the stable public names — ``REP001`` … — that inline
+suppressions, config tables and docs/invariants.md refer to.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Rule
+from repro.analysis.rules.rep001_rng import NoUnseededRng
+from repro.analysis.rules.rep002_fingerprint import FingerprintPurity
+from repro.analysis.rules.rep003_telemetry import TelemetryIsolation
+from repro.analysis.rules.rep004_iteration import DeterministicIteration
+from repro.analysis.rules.rep005_atomic_write import AtomicWrite
+from repro.analysis.rules.rep006_wallclock import NoWallClock
+from repro.analysis.rules.rep007_bitstable import BitStablePow
+from repro.analysis.rules.rep008_pickle import CrossProcessPicklability
+from repro.analysis.rules.rep009_docs import DocstringInvariants
+
+__all__ = ["RULE_CLASSES", "all_rules", "rule_ids"]
+
+#: Every registered rule class, in id order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    NoUnseededRng,
+    FingerprintPurity,
+    TelemetryIsolation,
+    DeterministicIteration,
+    AtomicWrite,
+    NoWallClock,
+    BitStablePow,
+    CrossProcessPicklability,
+    DocstringInvariants,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    rules = [cls() for cls in RULE_CLASSES]
+    rules.sort(key=lambda rule: rule.id)
+    return rules
+
+
+def rule_ids() -> list[str]:
+    """The registered rule ids, sorted."""
+    return sorted(cls.id for cls in RULE_CLASSES)

@@ -1,0 +1,118 @@
+"""REP001 — no unseeded or global-state RNG outside ``util/rng.py``.
+
+Every stochastic component flows from NumPy ``SeedSequence`` spawning
+(invariant: named/indexed streams are reproducible and order-independent
+for a fixed root seed).  The patterns that break that are all spellings
+of *hidden global state*: the stdlib :mod:`random` module, the legacy
+``np.random.*`` module-level functions (which mutate one shared
+``RandomState``), and ``np.random.default_rng()`` called without a seed.
+``np.random.Generator`` / ``SeedSequence`` / ``default_rng(seed)`` stay
+legal everywhere — they are exactly the explicit-stream API the repo
+standardises on.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import ModuleContext, Rule
+
+__all__ = ["NoUnseededRng"]
+
+#: ``np.random.<fn>`` module-level functions backed by the hidden global
+#: ``RandomState`` (the legacy API NEP 19 deprecates for libraries).
+_LEGACY_NP_FNS = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random_integers", "random",
+        "random_sample", "ranf", "sample", "choice", "shuffle",
+        "permutation", "bytes", "normal", "uniform", "standard_normal",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "beta", "gamma", "binomial", "poisson", "exponential",
+        "lognormal", "laplace", "logistic", "pareto", "power", "rayleigh",
+        "triangular", "vonmises", "wald", "weibull", "zipf", "gumbel",
+        "chisquare", "dirichlet", "f", "geometric", "hypergeometric",
+        "multinomial", "multivariate_normal", "negative_binomial",
+        "noncentral_chisquare", "noncentral_f", "get_state", "set_state",
+    }
+)
+_NP_RANDOM_BASES = ("np.random", "numpy.random")
+
+
+class NoUnseededRng(Rule):
+    """Flag stdlib ``random``, legacy ``np.random.*`` and bare ``default_rng()``."""
+
+    id = "REP001"
+    name = "no-unseeded-rng"
+    contract = (
+        "all randomness derives from explicit seeds via util/rng.py;"
+        " no global RNG state, no unseeded generators"
+    )
+    rationale = (
+        "global/unseeded RNG state makes results depend on import order,"
+        " call order and process boundaries — the exact things the"
+        " parallel runtime reorders, so bit-identical-for-any-workers"
+        " would silently break"
+    )
+    backstop = "tests/test_util_rng.py, tests/test_executor_parity.py"
+    allow_paths = ("util/rng.py",)
+    interests = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[tuple[ast.AST | None, str]]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield (
+                        node,
+                        "stdlib `random` is global-state RNG; derive a"
+                        " np.random.Generator via repro.util.rng instead",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield (
+                    node,
+                    "stdlib `random` is global-state RNG; derive a"
+                    " np.random.Generator via repro.util.rng instead",
+                )
+            elif node.module in ("numpy.random", "np.random"):
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name in _LEGACY_NP_FNS
+                )
+                if bad:
+                    yield (
+                        node,
+                        f"legacy numpy.random function(s) {', '.join(bad)}"
+                        " mutate hidden global state; use an explicit"
+                        " Generator from repro.util.rng",
+                    )
+            return
+        # ast.Call
+        qual = ctx.qualname(node.func)
+        if qual is None:
+            return
+        head, _, fn = qual.rpartition(".")
+        if head == "random":
+            yield (
+                node,
+                f"`{qual}()` uses the stdlib global RNG; thread an"
+                " explicit np.random.Generator instead",
+            )
+        elif head in _NP_RANDOM_BASES and fn in _LEGACY_NP_FNS:
+            yield (
+                node,
+                f"`{qual}()` mutates numpy's hidden global RandomState;"
+                " use an explicit Generator (repro.util.rng.as_generator)",
+            )
+        elif head in _NP_RANDOM_BASES and fn == "default_rng":
+            if not node.args and not node.keywords:
+                yield (
+                    node,
+                    "`default_rng()` without a seed draws OS entropy —"
+                    " results become irreproducible; pass a seed or"
+                    " SeedSequence",
+                )

@@ -1,0 +1,113 @@
+"""REP004 — deterministic iteration: no filesystem-order or set-order loops.
+
+``os.listdir`` / ``scandir`` / ``Path.iterdir`` / ``glob`` return
+entries in whatever order the filesystem hands back — which differs
+between machines, filesystems and runs — and iterating a ``set`` walks
+hash order, which differs per process (and per ``PYTHONHASHSEED``).
+Any result, report byte or dispatch order derived from such an
+iteration forks between environments.  The fix is mechanical: wrap the
+listing in ``sorted(...)`` (order-insensitive consumers — ``len``,
+membership tests, ``set`` construction — are recognised and allowed).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import ModuleContext, Rule
+
+__all__ = ["DeterministicIteration"]
+
+#: Fully qualified listing functions with filesystem-dependent order.
+_LISTING_QUALS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+#: Method spellings (Path-like receivers) with filesystem order.
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Wrappers whose value does not depend on the iteration order.
+_ORDER_INSENSITIVE_WRAPPERS = frozenset(
+    {"sorted", "len", "set", "frozenset", "max", "min", "sum", "any", "all"}
+)
+
+
+class DeterministicIteration(Rule):
+    """Flag unsorted directory listings and set iteration."""
+
+    id = "REP004"
+    name = "deterministic-iteration"
+    contract = (
+        "directory listings and set contents are sorted before anything"
+        " order-dependent consumes them"
+    )
+    rationale = (
+        "filesystem and hash order differ across machines and runs; an"
+        " unsorted sweep that feeds results, reports or dispatch order"
+        " breaks bit-identical reproduction"
+    )
+    backstop = (
+        "tests/test_executor_parity.py, tests/test_cache_concurrency.py"
+    )
+    interests = (ast.Call, ast.For, ast.comprehension)
+
+    def _listing_call(self, node: ast.Call, ctx: ModuleContext) -> str | None:
+        """The listing spelling if *node* lists a directory, else None."""
+        qual = ctx.qualname(node.func)
+        if qual is not None and qual in _LISTING_QUALS:
+            return qual
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LISTING_METHODS
+        ):
+            return f".{node.func.attr}()"
+        return None
+
+    def _order_consumed_safely(self, node: ast.AST, ctx: ModuleContext) -> bool:
+        """Whether an enclosing expression neutralises the order."""
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, ast.Call):
+                fn = anc.func
+                if (
+                    isinstance(fn, ast.Name)
+                    and fn.id in _ORDER_INSENSITIVE_WRAPPERS
+                ):
+                    return True
+            elif isinstance(anc, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in anc.ops
+            ):
+                return True
+            elif isinstance(anc, ast.stmt):
+                break
+        return False
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[tuple[ast.AST | None, str]]:
+        if isinstance(node, ast.Call):
+            spelling = self._listing_call(node, ctx)
+            if spelling is not None and not self._order_consumed_safely(
+                node, ctx
+            ):
+                yield (
+                    node,
+                    f"`{spelling}` yields filesystem order; wrap the"
+                    " listing in sorted(...) before anything consumes it",
+                )
+            return
+        # for-loop / comprehension iterating a set
+        iter_node = node.iter
+        flagged = None
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            flagged = "a set literal"
+        elif isinstance(iter_node, ast.Call) and isinstance(
+            iter_node.func, ast.Name
+        ):
+            if iter_node.func.id in ("set", "frozenset"):
+                flagged = f"{iter_node.func.id}(...)"
+        if flagged is not None:
+            yield (
+                iter_node,
+                f"iterating {flagged} walks hash order, which varies per"
+                " process; iterate sorted(...) of it instead",
+            )

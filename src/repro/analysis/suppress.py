@@ -1,0 +1,75 @@
+"""Inline suppression comments for the repro lint engine.
+
+A finding is suppressed by an inline comment on the *same physical
+line* as the flagged node's first line::
+
+    age = time.time() - mtime  # repro: allow[REP006] lease heartbeat only
+
+The bracket takes one rule id or a comma-separated list
+(``allow[REP004,REP005]``), and the text after the bracket is the
+**required** justification: a suppression without a reason, or naming a
+rule id the engine does not know, is itself reported as a ``REP000``
+finding *and* leaves the original finding active — an unexplained
+escape hatch never silences anything.
+
+Comments are extracted with :mod:`tokenize`, never by substring search,
+so the suppression marker appearing inside a string literal (as it does
+in this module and in the engine's own tests) is not a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "scan_suppressions"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+
+    @property
+    def valid(self) -> bool:
+        """Whether the comment carries rule ids and a justification."""
+        return bool(self.rules) and bool(self.reason)
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line number -> :class:`Suppression` for every allow comment.
+
+    Tokenization errors (the engine reports unparseable files
+    separately) yield an empty map rather than raising.
+    """
+    out: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip().upper()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            out[tok.start[0]] = Suppression(
+                line=tok.start[0],
+                rules=rules,
+                reason=match.group("reason").strip(),
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return out

@@ -14,6 +14,7 @@ Mirrors the three artifact workflows plus convenience commands::
     repro-sched analyze    # characterise a workload / policy agreement
     repro-sched info       # library / scale / policy inventory
     repro-sched stats      # render a run's telemetry manifest
+    repro-sched lint       # static analysis: enforce the repro contracts
 
 Every experiment verb (``train`` / ``simulate`` / ``evaluate`` /
 ``table4``) is a thin adapter: it builds the matching
@@ -606,6 +607,37 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis package pulls in tokenize/ast
+    # machinery no other verb needs.
+    from repro import analysis
+
+    if args.list_rules:
+        for rule in analysis.all_rules():
+            print(f"{rule.id}  {rule.name} [{rule.severity}]")
+            print(f"    contract: {rule.contract}")
+            print(f"    backstop: {rule.backstop}")
+        return 0
+    try:
+        config = analysis.load_config(
+            explicit=Path(args.config) if args.config else None
+        )
+        result = analysis.run_lint(
+            args.paths, config=config, select=args.select, ignore=args.ignore
+        )
+    except analysis.LintConfigError as exc:
+        raise SystemExit(f"repro-sched lint: {exc}") from None
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"repro-sched lint: {exc}") from None
+    renderer = {
+        "terminal": analysis.render_terminal,
+        "json": analysis.render_json,
+        "github": analysis.render_github,
+    }[args.format]
+    print(renderer(result), end="" if args.format == "json" else "\n")
+    return result.exit_code
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -913,6 +945,57 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="library inventory")
     p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: enforce the repro contracts",
+        description="Run the AST rule engine (REP001..REP009) that"
+        " machine-enforces the repo's determinism, fingerprint-purity,"
+        " telemetry-isolation and atomic-persistence contracts."
+        " Exit code is 1 when any active error-severity finding"
+        " remains; inline `# repro: allow[RULE-ID] reason` suppressions"
+        " require a justification. See docs/invariants.md.",
+    )
+    p.add_argument(
+        "paths",
+        metavar="PATHS",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("terminal", "json", "github"),
+        default="terminal",
+        help="output format (default: terminal)",
+    )
+    p.add_argument(
+        "--select",
+        type=split_csv,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run exclusively",
+    )
+    p.add_argument(
+        "--ignore",
+        type=split_csv,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    p.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="explicit repro-lint.toml / pyproject.toml"
+        " (default: discovered upward from cwd)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule's id, contract and backstop, then exit",
+    )
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -114,7 +114,7 @@ class TrainingDataStore:
     def tuple_indices(self) -> list[int]:
         """Indices of tuples already generated (sorted)."""
         out = []
-        for path in self.task_sets.iterdir():
+        for path in sorted(self.task_sets.iterdir()):
             match = _TUPLE_RE.search(path.name)
             if match:
                 out.append(int(match.group(1)))
@@ -143,7 +143,9 @@ class TrainingDataStore:
                     f"{wl.runtime[i]:.1f},{int(wl.size[i])},{wl.submit[i]:.1f}"
                 )
         path = self._tuple_path(tup.index)
-        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
         return path
 
     def save_trials(self, result: TrialScoreResult, index: int) -> Path:
@@ -154,7 +156,9 @@ class TrainingDataStore:
             for i in range(len(result.scores))
         ]
         path = self._trials_path(index)
-        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
         return path
 
     # ------------------------------------------------------------------

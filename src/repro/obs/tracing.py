@@ -22,6 +22,7 @@ spans never feed back into results, cache keys or RNG draws.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections.abc import Callable
@@ -137,7 +138,9 @@ class Tracer:
         """Write the JSONL export to *path* (parent dirs created)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl(), encoding="utf-8")
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_text(self.to_jsonl(), encoding="utf-8")
+        os.replace(tmp, path)
         return path
 
 

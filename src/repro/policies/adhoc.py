@@ -37,7 +37,7 @@ class WFP3(Policy):
         wait = np.maximum(float(now) - np.asarray(submit, dtype=float), 0.0)
         proc = np.maximum(np.asarray(proc, dtype=float), _MIN_PROC)
         size = np.asarray(size, dtype=float)
-        return -((wait / proc) ** 3) * size
+        return -((wait / proc) ** 3) * size  # repro: allow[REP007] dynamic policy, Python-kernel path only; cube matches paper formula and never reaches the C backend
 
 
 class UNICEF(Policy):

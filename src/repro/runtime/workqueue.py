@@ -108,8 +108,8 @@ def _result_path(run_dir: str, task_id: str) -> str:
 
 def task_ids(run_dir: str) -> list[str]:
     """All task ids of a run, in dispatch order."""
-    names = os.listdir(os.path.join(run_dir, "tasks"))
-    return sorted(n[: -len(".pkl")] for n in names if n.endswith(".pkl"))
+    names = sorted(os.listdir(os.path.join(run_dir, "tasks")))
+    return [n[: -len(".pkl")] for n in names if n.endswith(".pkl")]
 
 
 def write_task(run_dir: str, task_id: str, fn, args: tuple) -> None:
@@ -147,12 +147,12 @@ def claim_task(
     pure chunk).
     """
     lease = _lease_path(run_dir, task_id)
-    body = json.dumps({"worker": worker_id, "claimed_at": time.time()})
+    body = json.dumps({"worker": worker_id, "claimed_at": time.time()})  # repro: allow[REP006] lease liveness timestamp; informs takeover only, never enters results
     try:
         fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:
         try:
-            age = time.time() - os.stat(lease).st_mtime
+            age = time.time() - os.stat(lease).st_mtime  # repro: allow[REP006] dead-claimant detection against lease mtime; results stay pure
         except FileNotFoundError:
             return None  # released between listdir and stat; rescan
         if age <= lease_timeout:

@@ -149,7 +149,7 @@ def _sweep_stale_tmp(dest: Path) -> None:
     # still alive is a concurrent fetch in progress and is left alone —
     # and should that race ever be lost anyway, fetch_trace falls back to
     # the winner's verified entry instead of failing.
-    for stale in dest.parent.glob(dest.name + ".tmp*"):
+    for stale in sorted(dest.parent.glob(dest.name + ".tmp*")):
         pid_text = stale.name.rpartition(".tmp")[2]
         if pid_text.isdigit() and pid_text != str(os.getpid()):
             try:

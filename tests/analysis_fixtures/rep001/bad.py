@@ -1,0 +1,13 @@
+"""Bad: every spelling of hidden global RNG state."""
+import random
+from numpy.random import shuffle
+
+import numpy as np
+
+
+def jitter(values):
+    random.shuffle(values)
+    np.random.seed(0)
+    x = np.random.rand(3)
+    rng = np.random.default_rng()
+    return shuffle, x, rng

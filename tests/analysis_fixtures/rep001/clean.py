@@ -1,0 +1,8 @@
+"""Clean: explicit seeded generators only."""
+import numpy as np
+
+
+def jitter(seed):
+    rng = np.random.default_rng(seed)
+    rng.shuffle(values := list(range(3)))
+    return rng.random(3), values

@@ -1,0 +1,13 @@
+"""Bad: execution knobs flowing into fingerprint payloads."""
+
+
+def cache_key(spec, spec_fingerprint):
+    return spec_fingerprint(
+        {"policy": spec.policy, "workers": spec.workers},
+        backend="process",
+    )
+
+
+def merged_key(spec, eval_cell_fingerprint):
+    base = {"trace": spec.trace}
+    return eval_cell_fingerprint({**base, "chunk_size": 16})

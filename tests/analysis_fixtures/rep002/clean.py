@@ -1,0 +1,10 @@
+"""Clean: fingerprints hash result-relevant fields only."""
+
+
+def cache_key(spec, spec_fingerprint):
+    return spec_fingerprint({"policy": spec.policy, "seed": spec.seed})
+
+
+def run_config(spec, launch):
+    # Execution knobs are fine anywhere *except* fingerprint payloads.
+    return launch(spec, workers=8, backend="process")

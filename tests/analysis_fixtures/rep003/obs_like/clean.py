@@ -1,0 +1,5 @@
+"""Clean: reads outside sim/, core/ and eval/ are not in scope."""
+
+
+def report(registry):
+    return registry.to_dict()

@@ -1,0 +1,8 @@
+"""Bad: a result path reading metrics back out of the registry."""
+
+
+def step(registry, queue, current_registry):
+    if registry.value("sim.backfilled") > 0:
+        queue = queue[1:]
+    snap = current_registry().to_dict()
+    return queue, snap

@@ -1,0 +1,8 @@
+"""Clean: write-only telemetry from a result path."""
+
+
+def step(registry, queue):
+    registry.inc("sim.events")
+    with registry.timer("sim.step"):
+        queue = queue[1:]
+    return queue

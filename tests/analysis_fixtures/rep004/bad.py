@@ -1,0 +1,12 @@
+"""Bad: filesystem-order and hash-order iteration."""
+import os
+
+
+def sweep(root):
+    out = []
+    for name in os.listdir(root):
+        out.append(name)
+    for item in {"b", "a"}:
+        out.append(item)
+    stale = [p for p in root.glob("*.tmp")]
+    return out, stale

@@ -1,0 +1,11 @@
+"""Clean: sorted listings and order-insensitive consumers."""
+import os
+
+
+def sweep(root, names):
+    out = list(sorted(os.listdir(root)))
+    count = len(os.listdir(root))
+    present = "marker" in os.listdir(root)
+    for item in sorted({"b", "a"}):
+        out.append(item)
+    return out, count, present

@@ -1,0 +1,10 @@
+"""Bad: in-place writes with no rename commit."""
+
+
+def save(path, payload):
+    path.write_text(payload, encoding="utf-8")
+
+
+def append_log(path, line):
+    with open(path, "a") as fh:
+        fh.write(line)

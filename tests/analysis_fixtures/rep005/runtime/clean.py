@@ -1,0 +1,15 @@
+"""Clean: stream into a temp file, commit with os.replace."""
+import os
+
+
+def save(path, payload):
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
+def save_path(path, payload):
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    tmp.replace(path)

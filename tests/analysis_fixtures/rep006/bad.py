@@ -1,0 +1,9 @@
+"""Bad: wall-clock reads in a result path."""
+import time
+from datetime import datetime
+
+
+def stamp(result):
+    result["finished_at"] = time.time()
+    result["day"] = datetime.now().isoformat()
+    return result

@@ -1,0 +1,8 @@
+"""Clean: monotonic duration probes are not wall-clock."""
+import time
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start

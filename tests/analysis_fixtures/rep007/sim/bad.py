@@ -1,0 +1,6 @@
+"""Bad: float power in a kernel-parity module."""
+import numpy as np
+
+
+def score(wait, proc, size):
+    return -((wait / proc) ** 3) * size + np.power(size, 0.5)

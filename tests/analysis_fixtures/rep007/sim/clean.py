@@ -1,0 +1,8 @@
+"""Clean: explicit multiplications and int-literal powers."""
+
+MASK = 2 ** 63
+
+
+def score(wait, proc, size):
+    ratio = wait / proc
+    return -(ratio * ratio * ratio) * size

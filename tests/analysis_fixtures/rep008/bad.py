@@ -1,0 +1,10 @@
+"""Bad: unpicklable callables at executor submission sites."""
+
+
+def run(pool, chunks):
+    def helper(chunk):
+        return chunk
+
+    futures = [pool.submit(helper, c) for c in chunks]
+    mapped = pool.map(lambda c: c, chunks)
+    return futures, mapped

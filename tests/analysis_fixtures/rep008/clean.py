@@ -1,0 +1,9 @@
+"""Clean: module-level callables cross the process boundary."""
+
+
+def work(chunk):
+    return chunk
+
+
+def run(pool, chunks):
+    return [pool.submit(work, c) for c in chunks]

@@ -1,0 +1,5 @@
+"""Cache-aware eval helper: an undocumented public API entry."""
+
+
+def public_api(x):
+    return x

@@ -1,0 +1,6 @@
+"""Cache-aware eval helper (content-addressed artifacts)."""
+
+
+def public_api(x):
+    """Return *x* unchanged."""
+    return x

@@ -1,0 +1,5 @@
+"""A runtime helper that says nothing about its contract."""
+
+
+def helper():
+    return 0

@@ -1,0 +1,3 @@
+"""Markers inside string literals are text, not suppressions."""
+MARKER = "# repro: allow[REP001] not a comment"
+import random

@@ -1,0 +1,2 @@
+"""A suppression without a reason: REP000 fires, violation stays active."""
+import random  # repro: allow[REP001]

@@ -1,0 +1,2 @@
+"""A suppression naming a rule id that does not exist."""
+X = 1  # repro: allow[REP999] typo in the rule id

@@ -1,0 +1,2 @@
+"""A justified suppression: finding recorded but not active."""
+import random  # repro: allow[REP001] fixture: demonstrates a justified escape hatch

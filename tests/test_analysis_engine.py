@@ -1,0 +1,315 @@
+"""Tests for the static-analysis rule engine (``repro-sched lint``).
+
+Covers: every rule against a known-bad and known-clean fixture tree
+(tests/analysis_fixtures/), suppression semantics (valid / missing
+reason / unknown id / marker-in-string), config handling, the three
+output formats and their JSON schema, the CLI verb, and the self-lint
+gate — ``repro-sched lint src/`` must exit 0, which is also what makes
+the REP009 docstring rule the successor of the old test_docstrings.py.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.analysis import (
+    ENGINE_RULE_ID,
+    JSON_SCHEMA_VERSION,
+    LintConfig,
+    LintConfigError,
+    LintEngine,
+    all_rules,
+    load_config,
+    render_github,
+    render_json,
+    render_terminal,
+    rule_ids,
+    run_lint,
+    scan_suppressions,
+)
+from repro.analysis.config import parse_table
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+SRC = Path(__file__).parents[1] / "src"
+
+ALL_RULE_IDS = (
+    "REP001", "REP002", "REP003", "REP004", "REP005",
+    "REP006", "REP007", "REP008", "REP009",
+)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_ids_complete_and_sorted():
+    assert tuple(rule_ids()) == ALL_RULE_IDS
+    rules = all_rules()
+    assert [r.id for r in rules] == sorted(r.id for r in rules)
+
+
+def test_rules_carry_contract_metadata():
+    for rule in all_rules():
+        assert rule.contract, rule.id
+        assert rule.rationale, rule.id
+        assert rule.backstop, rule.id
+        assert rule.severity in ("warning", "error")
+
+
+def test_fresh_instances_per_call():
+    assert all_rules()[0] is not all_rules()[0]
+
+
+# ----------------------------------------------------------------------
+# per-rule fixtures: one bad and one clean tree per rule
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_rule_flags_bad_and_passes_clean(rule_id):
+    tree = FIXTURES / rule_id.lower()
+    assert tree.is_dir(), tree
+    result = run_lint([tree], select=[rule_id])
+    assert result.files_scanned >= 2, "need a bad and a clean fixture"
+    assert result.findings, f"{rule_id} found nothing in {tree}"
+    for finding in result.findings:
+        assert finding.rule == rule_id
+        assert Path(finding.path).name.startswith("bad"), (
+            f"{rule_id} flagged a clean fixture: {finding}"
+        )
+    assert result.exit_code == 1
+
+
+def test_rep001_flags_every_spelling():
+    result = run_lint([FIXTURES / "rep001" / "bad.py"], select=["REP001"])
+    # import random, from numpy.random import shuffle, random.shuffle,
+    # np.random.seed, np.random.rand, bare default_rng()
+    assert len(result.findings) == 6
+
+
+def test_rep003_is_path_gated():
+    # The same registry read outside sim/core/eval is legal.
+    result = run_lint([FIXTURES / "rep003"], select=["REP003"])
+    flagged = {Path(f.path).parent.name for f in result.findings}
+    assert flagged == {"sim"}
+
+
+def test_rep007_allows_int_literal_powers():
+    result = run_lint(
+        [FIXTURES / "rep007" / "sim" / "clean.py"], select=["REP007"]
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_valid_suppression_silences_but_records():
+    result = run_lint([FIXTURES / "suppress" / "valid.py"], select=["REP001"])
+    assert result.exit_code == 0
+    assert result.active == []
+    assert len(result.suppressed) == 1
+    finding = result.suppressed[0]
+    assert finding.rule == "REP001"
+    assert "justified escape hatch" in finding.suppress_reason
+
+
+def test_missing_reason_keeps_finding_active_and_adds_rep000():
+    result = run_lint(
+        [FIXTURES / "suppress" / "missing_reason.py"], select=["REP001"]
+    )
+    assert result.exit_code == 1
+    rules = sorted(f.rule for f in result.active)
+    assert rules == [ENGINE_RULE_ID, "REP001"]
+    assert result.suppressed == []
+    assert any("requires a one-line" in f.message for f in result.active)
+
+
+def test_unknown_rule_id_in_suppression_is_rep000():
+    result = run_lint([FIXTURES / "suppress" / "unknown_rule.py"])
+    assert result.exit_code == 1
+    assert [f.rule for f in result.active] == [ENGINE_RULE_ID]
+    assert "REP999" in result.active[0].message
+
+
+def test_marker_inside_string_is_not_a_suppression():
+    result = run_lint(
+        [FIXTURES / "suppress" / "in_string.py"], select=["REP001"]
+    )
+    assert result.exit_code == 1
+    assert len(result.active) == 1
+    assert result.suppressed == []
+
+
+def test_scan_suppressions_parses_multi_rule_markers():
+    source = "x = 1  # repro: allow[REP004, rep006] spans two rules\n"
+    sups = scan_suppressions(source)
+    assert sups[1].rules == ("REP004", "REP006")
+    assert sups[1].valid
+
+
+def test_syntax_error_becomes_rep000(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n", encoding="utf-8")
+    result = run_lint([broken])
+    assert result.exit_code == 1
+    assert [f.rule for f in result.findings] == [ENGINE_RULE_ID]
+    assert "could not parse" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# config
+# ----------------------------------------------------------------------
+def test_parse_table_rejects_unknown_keys():
+    with pytest.raises(LintConfigError) as err:
+        parse_table({"selekt": ["REP001"]}, source="pyproject.toml")
+    assert "selekt" in str(err.value)
+    assert "select" in str(err.value)  # names the valid keys
+
+
+def test_rule_rejects_unknown_options():
+    rule = all_rules()[0]
+    with pytest.raises(LintConfigError) as err:
+        rule.configure({"not_an_option": 1})
+    assert "not_an_option" in str(err.value)
+
+
+def test_engine_rejects_unknown_rule_id_in_config():
+    with pytest.raises(ValueError) as err:
+        LintEngine(config=LintConfig(ignore=("REP999",)))
+    assert "REP999" in str(err.value)
+
+
+def test_config_exclude_skips_paths():
+    cfg = LintConfig(exclude=("bad.py",))
+    result = LintEngine(config=cfg).lint_paths([FIXTURES / "rep004"])
+    assert result.findings == []
+    assert result.files_scanned == 1  # clean.py only
+
+
+def test_select_and_ignore_filter_rules():
+    tree = FIXTURES / "rep006"
+    assert run_lint([tree], select=["REP001"]).findings == []
+    ignored = run_lint([tree], ignore=["REP006", "REP009"])
+    assert all(f.rule not in ("REP006", "REP009") for f in ignored.findings)
+
+
+def test_load_config_reads_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\nignore = ["rep008"]\n', encoding="utf-8"
+    )
+    cfg = load_config(start=tmp_path)
+    assert cfg.ignore == ("REP008",)
+    assert not cfg.enabled("REP008")
+    assert cfg.enabled("REP001")
+
+
+def test_rep009_contract_packages_configurable():
+    cfg = LintConfig(
+        rule_options={"REP009": {"contract_packages": []}},
+        select=("REP009",),
+    )
+    result = LintEngine(config=cfg).lint_paths(
+        [FIXTURES / "rep009" / "runtime"]
+    )
+    # With no contract packages, the marker-less docstring passes.
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+def test_json_report_schema():
+    result = run_lint([FIXTURES / "rep006"], select=["REP006"])
+    doc = json.loads(render_json(result))
+    assert doc["schema"] == JSON_SCHEMA_VERSION
+    assert doc["tool"] == "repro-lint"
+    assert doc["files_scanned"] == result.files_scanned
+    assert set(doc["summary"]) == {"errors", "warnings", "suppressed"}
+    assert doc["summary"]["errors"] == len(result.active)
+    assert doc["rules"]["REP006"]["contract"]
+    for finding in doc["findings"]:
+        assert set(finding) == {
+            "rule", "path", "line", "col", "message", "severity",
+            "suppressed", "suppress_reason",
+        }
+
+
+def test_json_report_includes_suppressed_findings():
+    result = run_lint([FIXTURES / "suppress" / "valid.py"], select=["REP001"])
+    doc = json.loads(render_json(result))
+    assert doc["summary"]["errors"] == 0
+    assert doc["summary"]["suppressed"] == 1
+    assert doc["findings"][0]["suppressed"] is True
+    assert doc["findings"][0]["suppress_reason"]
+
+
+def test_github_format_emits_annotations():
+    result = run_lint([FIXTURES / "rep006" / "bad.py"], select=["REP006"])
+    out = render_github(result)
+    assert "::error file=" in out
+    assert "title=REP006" in out
+
+
+def test_terminal_format_lists_findings_and_summary():
+    result = run_lint([FIXTURES / "rep006" / "bad.py"], select=["REP006"])
+    out = render_terminal(result)
+    assert "REP006 error:" in out
+    assert "error(s)" in out
+
+
+# ----------------------------------------------------------------------
+# CLI verb
+# ----------------------------------------------------------------------
+def test_cli_lint_bad_fixture_exits_nonzero(capsys):
+    rc = cli.main(
+        ["lint", str(FIXTURES / "rep001" / "bad.py"), "--select", "REP001"]
+    )
+    assert rc == 1
+    assert "REP001" in capsys.readouterr().out
+
+
+def test_cli_lint_json_format(capsys):
+    rc = cli.main(
+        [
+            "lint",
+            str(FIXTURES / "rep001" / "clean.py"),
+            "--select",
+            "REP001",
+            "--format",
+            "json",
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == JSON_SCHEMA_VERSION
+
+
+def test_cli_lint_list_rules(capsys):
+    rc = cli.main(["lint", "--list-rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in out
+
+
+def test_cli_lint_unknown_path_is_a_clean_error():
+    with pytest.raises(SystemExit, match="lint path not found"):
+        cli.main(["lint", "no/such/dir"])
+
+
+# ----------------------------------------------------------------------
+# self-lint: the repo's own source obeys its own contracts
+# ----------------------------------------------------------------------
+def test_src_lints_clean():
+    result = run_lint([SRC])
+    assert result.exit_code == 0, render_terminal(result)
+    # Every suppression in src/ carries a justification by construction;
+    # growth of this count is watched by scripts/check_lint_baseline.py.
+    for finding in result.suppressed:
+        assert finding.suppress_reason
+
+
+def test_src_docstring_invariants_hold():
+    # The REP009 successor of the old tests/test_docstrings.py gate.
+    result = run_lint([SRC], select=["REP009"])
+    assert result.exit_code == 0, render_terminal(result)
