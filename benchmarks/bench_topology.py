@@ -1,0 +1,60 @@
+"""Substrate micro-benchmarks: partitioned-platform overhead.
+
+Not a paper artifact — this guards the platform layer's cost model: a
+partitioned run at equal total cores pays per-leaf kernel dispatch and
+the distribution pass, but each leaf's event loop is smaller, so the
+overhead over the flat fast path must stay modest (and a product-one
+topology must stay indistinguishable from flat, because it *is* the
+flat code path plus one identity check).
+"""
+
+import pytest
+
+from repro.policies.registry import get_policy
+from repro.sim.engine import simulate
+from repro.workloads.lublin import lublin_workload
+
+N_JOBS = 2000
+NMAX = 256
+
+
+@pytest.fixture(scope="module")
+def stream():
+    # Cap sizes at a (4,)-leaf's 64 cores so every topology in the file
+    # schedules the identical workload.
+    wl = lublin_workload(N_JOBS, NMAX // 4, seed=3)
+    return wl
+
+
+def bench_topology_flat(benchmark, stream):
+    """FCFS on the flat 256-core machine (the baseline fast path)."""
+    result = benchmark(simulate, stream, get_policy("FCFS"), NMAX)
+    assert result.leaf is None
+    benchmark.extra_info["events"] = result.n_events
+    benchmark.extra_info["jobs"] = N_JOBS
+
+
+def bench_topology_partitioned(benchmark, stream):
+    """FCFS on (4,) — four 64-core leaves, round-robin distribution."""
+    result = benchmark(
+        simulate, stream, get_policy("FCFS"), NMAX, topology=(4,)
+    )
+    assert result.leaf is not None
+    benchmark.extra_info["events"] = result.n_events
+    benchmark.extra_info["jobs"] = N_JOBS
+    benchmark.extra_info["topology"] = "4"
+
+
+def bench_topology_partitioned_hybrid(benchmark, stream):
+    """FCFS + hybrid backfilling on (4,) (the heaviest partitioned mode)."""
+    result = benchmark(
+        simulate,
+        stream,
+        get_policy("FCFS"),
+        NMAX,
+        topology=(4,),
+        distribution="by_size",
+        backfill="hybrid",
+    )
+    benchmark.extra_info["backfilled"] = result.backfill_count
+    benchmark.extra_info["topology"] = "4"

@@ -39,7 +39,16 @@ from repro.policies.registry import get_policy
 from repro.runtime.cache import ArtifactCache, coerce_cache
 from repro.runtime.config import resolve_backend
 from repro.sim.engine import simulate
+from repro.sim.hetero import (
+    HeteroPlatform,
+    hetero_simulate,
+    parse_arch_specs,
+    workload_to_hetero_jobs,
+)
 from repro.sim.job import Workload
+from repro.sim.metrics import makespan as schedule_makespan
+from repro.sim.metrics import utilization as schedule_utilization
+from repro.sim.platform import platform_identity, topology_label
 from repro.specs import (
     EvaluateSpec,
     SimulateSpec,
@@ -88,19 +97,27 @@ class SimulateReport:
     makespan: float
     utilization: float
     backfilled: int
+    #: Platform label for non-flat runs (e.g. ``"topology=2x4
+    #: distribution=round_robin"``); ``None`` on the paper's flat machine,
+    #: so flat report lines and cache entries are byte-identical to the
+    #: pre-platform library.
+    platform: str | None = None
     cached: bool = False
 
     def line(self) -> str:
         """The one-line summary the CLI prints."""
-        return (
+        text = (
             f"policy={self.policy} jobs={self.n_jobs} nmax={self.nmax} "
             f"AVEbsld={self.ave_bsld:.2f} makespan={self.makespan:.0f}s "
             f"util={self.utilization:.3f} backfilled={self.backfilled}"
         )
+        if self.platform is not None:
+            text += f" {self.platform}"
+        return text
 
     def to_entry(self) -> dict:
         """JSON-cacheable representation (format-versioned)."""
-        return {
+        entry = {
             "format": SIMULATE_CELL_FORMAT,
             "policy": self.policy,
             "backfill": self.backfill,
@@ -111,6 +128,9 @@ class SimulateReport:
             "utilization": self.utilization,
             "backfilled": self.backfilled,
         }
+        if self.platform is not None:
+            entry["platform"] = self.platform
+        return entry
 
     @classmethod
     def from_entry(cls, entry: object) -> "SimulateReport | None":
@@ -127,6 +147,9 @@ class SimulateReport:
                 makespan=float(entry["makespan"]),
                 utilization=float(entry["utilization"]),
                 backfilled=int(entry["backfilled"]),
+                platform=(
+                    str(entry["platform"]) if entry.get("platform") is not None else None
+                ),
                 cached=True,
             )
         except (KeyError, TypeError, ValueError):
@@ -208,6 +231,9 @@ class SweepResult:
 
 def _axis_value(value: Any) -> str:
     if isinstance(value, tuple):
+        if value and all(isinstance(v, int) for v in value):
+            # topology tuples: match the CLI spelling ("2x4")
+            return topology_label(value)
         return "+".join(str(v) for v in value)
     return str(value)
 
@@ -292,6 +318,11 @@ def _run_simulate(
     # (and whichever backend) were requested; the flags are accepted for
     # CLI symmetry.
     wl, nmax = _simulate_workload(spec)
+    if spec.hetero is not None:
+        return _run_simulate_hetero(spec, wl, cache=cache, progress=progress)
+    # None on the flat machine (and product-1 topologies), so flat cache
+    # keys are byte-identical to the pre-platform library.
+    platform = platform_identity(spec.topology, spec.distribution, spec.seed)
     key = None
     if cache is not None:
         key = simulate_cell_fingerprint(
@@ -301,6 +332,7 @@ def _run_simulate(
             nmax=nmax,
             use_estimates=spec.estimates,
             tau=spec.tau,
+            platform=platform,
         )
         hit = SimulateReport.from_entry(cache.load_json(key))
         if hit is not None:
@@ -314,9 +346,18 @@ def _run_simulate(
         use_estimates=spec.estimates,
         backfill=spec.backfill,
         tau=spec.tau,
+        topology=spec.topology,
+        distribution=spec.distribution,
+        platform_seed=spec.seed,
     )
     if progress is not None:
         progress("simulate", 1, 1)
+    label = None
+    if platform is not None:
+        label = (
+            f"topology={topology_label(spec.topology)}"
+            f" distribution={spec.distribution}"
+        )
     report = SimulateReport(
         policy=result.policy_name,
         backfill=spec.backfill,
@@ -326,6 +367,63 @@ def _run_simulate(
         makespan=result.makespan,
         utilization=result.utilization,
         backfilled=result.backfill_count,
+        platform=label,
+    )
+    if cache is not None:
+        cache.store_json(key, report.to_entry())
+    return report
+
+
+def _run_simulate_hetero(
+    spec: SimulateSpec,
+    wl: Workload,
+    *,
+    cache: ArtifactCache | None,
+    progress: ProgressFn | None,
+) -> SimulateReport:
+    """The heterogeneous-platform branch of the ``simulate`` verb.
+
+    The workload is lifted onto the declared architecture pools
+    (:func:`repro.sim.hetero.workload_to_hetero_jobs`) and scheduled by
+    the dispatcher prototype; makespan and utilization are computed from
+    the runtime of the variant each job actually executed, against the
+    platform's total core count.
+    """
+    archs = parse_arch_specs(spec.hetero)
+    platform = HeteroPlatform({a.name: a.cores for a in archs})
+    jobs = workload_to_hetero_jobs(wl, archs)
+    nmax = platform.total_cores
+    key = None
+    if cache is not None:
+        key = simulate_cell_fingerprint(
+            workload_fingerprint=workload_fingerprint(wl),
+            policy=spec.policy,
+            backfill=spec.backfill,
+            nmax=nmax,
+            use_estimates=spec.estimates,
+            tau=spec.tau,
+            platform={"hetero": list(spec.hetero)},
+        )
+        hit = SimulateReport.from_entry(cache.load_json(key))
+        if hit is not None:
+            if progress is not None:
+                progress("simulate", 1, 1)
+            return hit
+    result = hetero_simulate(jobs, get_policy(spec.policy), platform, tau=spec.tau)
+    if progress is not None:
+        progress("simulate", 1, 1)
+    executed = result.executed_runtime
+    sizes = [job.variants[a].size for job, a in zip(jobs, result.chosen_arch)]
+    report = SimulateReport(
+        policy=result.policy_name,
+        backfill=spec.backfill,
+        n_jobs=len(wl),
+        nmax=nmax,
+        ave_bsld=result.ave_bsld,
+        makespan=schedule_makespan(result.start, executed),
+        utilization=schedule_utilization(result.start, executed, sizes, nmax),
+        backfilled=0,
+        platform="hetero=" + "+".join(spec.hetero),
     )
     if cache is not None:
         cache.store_json(key, report.to_entry())

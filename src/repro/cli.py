@@ -40,6 +40,7 @@ import repro
 from repro import api
 from repro.cli_options import (
     add_cache_arg,
+    add_platform_args,
     add_scale_arg,
     add_telemetry_arg,
     add_backend_arg,
@@ -348,6 +349,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             trace=args.trace,
             estimates=args.estimates,
             backfill=_resolve_backfill_flag(args.backfill),
+            topology=args.topology,
+            distribution=args.distribution,
+            hetero=tuple(args.hetero_archs) if args.hetero_archs else None,
         )
     except SpecError as exc:
         raise SystemExit(f"repro-sched simulate: {exc}") from None
@@ -410,6 +414,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             baseline=args.baseline,
             bootstrap=args.bootstrap,
             ci=args.ci,
+            topology=args.topology,
+            distribution=args.distribution,
         )
     except SpecError as exc:
         raise SystemExit(f"repro-sched evaluate: {exc}") from None
@@ -691,6 +697,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"backfill mode from {'/'.join(BACKFILL_TOKENS)} (default none;"
         " a bare --backfill is a deprecated alias for 'easy')",
     )
+    add_platform_args(p)
+    p.add_argument(
+        "--hetero-archs",
+        type=split_csv,
+        default=None,
+        metavar="NAME:CORES[:SPEEDUP],...",
+        help="heterogeneous architecture pools (e.g. cpu:256,gpu:64:8; the"
+        " first is the reference the policy scores against); mutually"
+        " exclusive with --topology",
+    )
     add_cache_arg(p, "the simulation's metrics")
     add_workers_arg(p)
     add_backend_arg(p)
@@ -807,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="POLICY",
         help="anchor of the paired per-window deltas (default: first policy)",
     )
+    add_platform_args(p)
     p.add_argument(
         "--output-dir", help="also write eval_matrix.csv / eval_matrix.json here"
     )

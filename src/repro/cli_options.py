@@ -30,6 +30,7 @@ from repro.runtime import BACKEND_NAMES, resolve_backend, resolve_workers
 __all__ = [
     "add_backend_arg",
     "add_cache_arg",
+    "add_platform_args",
     "add_scale_arg",
     "add_telemetry_arg",
     "add_workers_arg",
@@ -39,6 +40,7 @@ __all__ = [
     "ci_level_type",
     "split_csv",
     "telemetry_dir_from",
+    "topology_type",
     "trace_source_type",
     "workers_from",
     "workers_type",
@@ -87,6 +89,29 @@ def trace_source_type(value: str) -> str:
         except (UnknownTraceError, ValueError) as exc:
             raise argparse.ArgumentTypeError(str(exc)) from None
     return value
+
+
+def topology_type(value: str) -> tuple[int, ...]:
+    """A platform topology spelling: ``2x4`` -> ``(2, 4)``.
+
+    Each ``x``-separated level is a fanout; the leaf count is their
+    product (``2x4`` = 8 leaves).  ``1`` is accepted and provably
+    byte-identical to the flat machine.
+    """
+    from repro.sim.platform import normalize_topology
+
+    try:
+        topo = normalize_topology(
+            tuple(int(part) for part in value.lower().split("x"))
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad topology {value!r}; expected positive integers joined"
+            f" by 'x' (e.g. 2x4): {exc}"
+        ) from None
+    if topo is None:
+        raise argparse.ArgumentTypeError(f"empty topology {value!r}")
+    return topo
 
 
 def bootstrap_type(value: str) -> int:
@@ -171,6 +196,29 @@ def add_telemetry_arg(p: argparse.ArgumentParser) -> None:
         " metrics.json and spans.jsonl (default DIR: --output-dir if"
         " given, else ./telemetry); never changes any result or report"
         " byte — inspect with `repro-sched stats DIR`",
+    )
+
+
+def add_platform_args(p: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--topology`` / ``--distribution`` flags."""
+    from repro.sim.platform import DISTRIBUTIONS
+
+    p.add_argument(
+        "--topology",
+        type=topology_type,
+        default=None,
+        metavar="LxM",
+        help="partition the machine into equal leaves (e.g. 2x4 = 8"
+        " leaves), each running its own scheduler instance; nmax must"
+        " divide evenly and every job must fit one leaf (default: the"
+        " paper's flat machine)",
+    )
+    p.add_argument(
+        "--distribution",
+        choices=DISTRIBUTIONS,
+        default="round_robin",
+        help="job-to-leaf distribution strategy for --topology runs"
+        " (default: round_robin; 'random' is seeded by --seed)",
     )
 
 

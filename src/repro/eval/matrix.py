@@ -62,7 +62,7 @@ __all__ = [
 ]
 
 #: Canonical backfill-axis tokens (CLI and config spelling).
-BACKFILL_TOKENS = ("none", "easy", "conservative")
+BACKFILL_TOKENS = ("none", "easy", "conservative", "hybrid")
 
 #: Bump when CellResult's cached fields change; stale entries turn into
 #: cache misses instead of mis-decoding.
@@ -96,6 +96,12 @@ class MatrixConfig:
     warmup: int = 0
     max_windows: int | None = None
     seed: int = 0
+    #: Platform topology tuple (``None`` = the paper's flat machine);
+    #: partitions every cell's machine into equal per-leaf schedulers.
+    topology: tuple[int, ...] | None = None
+    #: Job→leaf distribution strategy for partitioned topologies (the
+    #: ``random`` strategy draws from the config *seed*).
+    distribution: str = "round_robin"
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -124,6 +130,12 @@ class MatrixConfig:
             raise ValueError(f"nmax must be >= 0, got {self.nmax}")
         if self.tau <= 0:
             raise ValueError(f"tau must be > 0, got {self.tau}")
+        from repro.sim.platform import normalize_distribution, normalize_topology
+
+        object.__setattr__(self, "topology", normalize_topology(self.topology))
+        object.__setattr__(
+            self, "distribution", normalize_distribution(self.distribution)
+        )
 
 
 @dataclass(frozen=True)
@@ -197,6 +209,11 @@ class _CellTask:
     tau: float
     warmup: int
     seed: int
+    topology: tuple[int, ...] | None = None
+    distribution: str = "round_robin"
+    #: seed of the ``random`` distribution (the config seed — identical
+    #: for every cell, so a window's assignment is cache-stable).
+    platform_seed: int = 0
 
 
 def _simulate_cell(task: _CellTask) -> CellResult:
@@ -227,6 +244,9 @@ def _simulate_cell_inner(task: _CellTask) -> CellResult:
         use_estimates=task.use_estimates,
         backfill=task.backfill,
         tau=task.tau,
+        topology=task.topology,
+        distribution=task.distribution,
+        platform_seed=task.platform_seed,
     )
     scored = result.bsld()[task.warmup :]
     return CellResult(
@@ -363,7 +383,11 @@ class MatrixResult:
 
 def _cell_key(window: Window, config: MatrixConfig, nmax: int, policy: str, backfill: str) -> str:
     # The payload lives in specs.fingerprint (the single home of cache-key
-    # derivations); keys are byte-compatible with pre-spec-layer caches.
+    # derivations); keys are byte-compatible with pre-spec-layer caches —
+    # the platform identity is None for flat (and product-1) topologies,
+    # so it only enters the key when it can change the result.
+    from repro.sim.platform import platform_identity
+
     return eval_cell_fingerprint(
         window_fingerprint=window.fingerprint(),
         policy=policy,
@@ -372,6 +396,7 @@ def _cell_key(window: Window, config: MatrixConfig, nmax: int, policy: str, back
         use_estimates=config.use_estimates,
         tau=config.tau,
         cell_format=_CELL_FORMAT,
+        platform=platform_identity(config.topology, config.distribution, config.seed),
     )
 
 
@@ -386,6 +411,12 @@ def _resolve_nmax(config: MatrixConfig, workload_nmax: int) -> int:
             " (or MaxNodes) line to default to — pass --nmax (MatrixConfig"
             ".nmax / EvaluateSpec.nmax) to set the machine size explicitly"
         )
+    if config.topology is not None:
+        # Fail fast (before any cell dispatches) if nmax does not divide
+        # over the leaves; the constructed platform is discarded.
+        from repro.sim.platform import PartitionedPlatform
+
+        PartitionedPlatform(nmax, config.topology)
     return nmax
 
 
@@ -531,6 +562,9 @@ def _cell_task_for(
         tau=config.tau,
         warmup=window.warmup,
         seed=seed,
+        topology=config.topology,
+        distribution=config.distribution,
+        platform_seed=config.seed,
     )
 
 

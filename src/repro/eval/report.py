@@ -35,8 +35,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.eval.matrix import MatrixResult
+from repro.eval.matrix import MatrixConfig, MatrixResult
 from repro.policies.registry import get_policy
+from repro.sim.platform import platform_identity, topology_label
 from repro.util.stats import BootstrapCI
 
 __all__ = [
@@ -62,6 +63,21 @@ def _significance_token(ci: BootstrapCI) -> str:
     return "yes" if ci.significant else "no"
 
 
+def _platform_suffix(cfg: MatrixConfig) -> str:
+    """Header suffix naming the platform, empty on the flat machine.
+
+    Gated on :func:`repro.sim.platform.platform_identity` so flat (and
+    product-1) matrices render byte-identical reports to the
+    pre-platform library — the CI topology-smoke job byte-compares them.
+    """
+    if platform_identity(cfg.topology, cfg.distribution, cfg.seed) is None:
+        return ""
+    return (
+        f" topology={topology_label(cfg.topology)}"
+        f" distribution={cfg.distribution}"
+    )
+
+
 def matrix_to_csv(result: MatrixResult) -> str:
     """Long-format per-cell rows: one line per (window, policy, backfill)."""
     buf = io.StringIO()
@@ -69,7 +85,8 @@ def matrix_to_csv(result: MatrixResult) -> str:
     buf.write(
         f"# trace={result.trace_name} nmax={result.nmax}"
         f" windows={result.n_windows} warmup={cfg.warmup}"
-        f" estimates={cfg.use_estimates} tau={cfg.tau:g}\n"
+        f" estimates={cfg.use_estimates} tau={cfg.tau:g}"
+        f"{_platform_suffix(cfg)}\n"
     )
     buf.write(
         "window,policy,backfill,n_jobs,n_scored,ave_bsld,"
@@ -169,17 +186,7 @@ def matrix_to_json(
         "n_windows": result.n_windows,
         "n_simulated": result.n_simulated,
         "n_cached": result.n_cached,
-        "config": {
-            "policies": list(cfg.policies),
-            "backfill": list(cfg.backfill),
-            "use_estimates": cfg.use_estimates,
-            "tau": cfg.tau,
-            "window_jobs": cfg.window_jobs,
-            "window_seconds": cfg.window_seconds,
-            "warmup": cfg.warmup,
-            "max_windows": cfg.max_windows,
-            "seed": cfg.seed,
-        },
+        "config": _config_doc(cfg),
         "bootstrap": {"baseline": base, "n_boot": n_boot, "level": level},
         "deltas": delta_doc,
         "summaries": summaries,
@@ -191,6 +198,26 @@ def matrix_to_json(
             "comparison": paper_comparison_doc(result, paper),
         }
     return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _config_doc(cfg: MatrixConfig) -> dict:
+    """The JSON ``config`` block; platform keys only when partitioned,
+    so flat documents keep their historical bytes."""
+    doc = {
+        "policies": list(cfg.policies),
+        "backfill": list(cfg.backfill),
+        "use_estimates": cfg.use_estimates,
+        "tau": cfg.tau,
+        "window_jobs": cfg.window_jobs,
+        "window_seconds": cfg.window_seconds,
+        "warmup": cfg.warmup,
+        "max_windows": cfg.max_windows,
+        "seed": cfg.seed,
+    }
+    if platform_identity(cfg.topology, cfg.distribution, cfg.seed) is not None:
+        doc["topology"] = list(cfg.topology)
+        doc["distribution"] = cfg.distribution
+    return doc
 
 
 def paper_comparison_doc(result: MatrixResult, prefix: str) -> dict:
@@ -294,7 +321,8 @@ def render_matrix_report(
     lines = [
         f"Evaluation matrix for {result.trace_name}"
         f" (nmax={result.nmax}, {result.n_windows} windows,"
-        f" {'estimates' if cfg.use_estimates else 'actual runtimes'})",
+        f" {'estimates' if cfg.use_estimates else 'actual runtimes'}"
+        f"{',' + _platform_suffix(cfg) if _platform_suffix(cfg) else ''})",
         f"cells: {len(result.cells)}"
         f" (simulated {result.n_simulated}, cached {result.n_cached})",
     ]

@@ -86,6 +86,27 @@ def _spec_block(spec: Any) -> dict:
     return block
 
 
+def _platform_block(spec: Any) -> dict | None:
+    """Platform identity of the executed spec, ``None`` on flat machines.
+
+    Mirrors :func:`repro.sim.platform.platform_identity` (plus the
+    heterogeneous architecture list), so flat-machine manifests carry no
+    platform block at all — their bytes match the pre-platform library.
+    """
+    if spec is None:
+        return None
+    hetero = getattr(spec, "hetero", None)
+    if hetero is not None:
+        return {"hetero": list(hetero)}
+    from repro.sim.platform import platform_identity
+
+    return platform_identity(
+        getattr(spec, "topology", None),
+        getattr(spec, "distribution", None),
+        getattr(spec, "seed", 0),
+    )
+
+
 def build_manifest(
     *,
     registry: MetricsRegistry,
@@ -155,6 +176,9 @@ def build_manifest(
     seed = getattr(spec, "seed", None)
     if seed is not None:
         doc["execution"]["seed"] = seed
+    platform_block = _platform_block(spec)
+    if platform_block is not None:
+        doc["platform"] = platform_block
     return doc
 
 
@@ -215,6 +239,20 @@ def render_manifest(doc: dict) -> str:
         )
         for field, src in (spec.get("sources") or {}).items():
             lines.append(f"  {field}: {src['ref']} (identity {src['identity']})")
+    platform_block = doc.get("platform") or {}
+    if platform_block.get("hetero"):
+        lines.append("  platform: hetero=" + ",".join(platform_block["hetero"]))
+    elif platform_block.get("topology"):
+        lines.append(
+            "  platform: topology="
+            + "x".join(str(v) for v in platform_block["topology"])
+            + f" distribution={platform_block.get('distribution')}"
+            + (
+                f" seed={platform_block['seed']}"
+                if "seed" in platform_block
+                else ""
+            )
+        )
     lines.append(
         "  execution: workers={} backend={} seed={}".format(
             execution.get("workers"),

@@ -13,23 +13,44 @@ Public surface:
 Both simulators are thin configurations of the unified event-heap
 kernel in :mod:`~repro.sim.kernel` (``REPRO_SIM_KERNEL`` selects the
 compiled or pure-Python backend; results are bit-identical).  The
-:mod:`~repro.sim.backfill`, :mod:`~repro.sim.conservative`,
-:mod:`~repro.sim.events` and :mod:`~repro.sim.cluster` modules remain
-the property-tested reference pieces the kernel's semantics are defined
-against.
+resource model is pluggable (:mod:`~repro.sim.platform`): the paper's
+flat machine, topology-partitioned per-leaf schedulers, and the
+heterogeneous prototype all account cores through the shared
+:class:`~repro.sim.cluster.Cluster` leaf allocator.  The
+:mod:`~repro.sim.backfill`, :mod:`~repro.sim.conservative` and
+:mod:`~repro.sim.events` modules remain the property-tested reference
+pieces the kernel's semantics are defined against.
 """
 
-from repro.sim.backfill import easy_backfill, shadow_schedule
+from repro.sim.backfill import (
+    HYBRID_RESERVATION_DEPTH,
+    easy_backfill,
+    hybrid_starts,
+    shadow_schedule,
+)
 from repro.sim.conservative import AvailabilityProfile, conservative_starts
 from repro.sim.cluster import Cluster
 from repro.sim.engine import ScheduleResult, SimulationConfig, simulate
 from repro.sim.events import CompletionQueue
 from repro.sim.hetero import (
+    ArchSpec,
     HeteroJob,
     HeteroPlatform,
     HeteroResult,
     Variant,
     hetero_simulate,
+    parse_arch_specs,
+    workload_to_hetero_jobs,
+)
+from repro.sim.platform import (
+    DISTRIBUTIONS,
+    FlatPlatform,
+    PartitionedPlatform,
+    Platform,
+    distribute_jobs,
+    normalize_topology,
+    platform_identity,
+    simulate_partitioned,
 )
 from repro.sim.job import Job, Workload, concat_workloads
 from repro.sim.kernel import KernelResult, fixed_priority_batch, simulate_events
@@ -52,27 +73,39 @@ from repro.sim.metrics import (
 )
 
 __all__ = [
+    "ArchSpec",
     "AvailabilityProfile",
     "Cluster",
     "CompletionQueue",
     "DEFAULT_TAU",
+    "DISTRIBUTIONS",
+    "FlatPlatform",
+    "HYBRID_RESERVATION_DEPTH",
     "HeteroJob",
     "HeteroPlatform",
     "HeteroResult",
     "Job",
     "KernelResult",
+    "PartitionedPlatform",
+    "Platform",
     "ScheduleResult",
     "SimulationConfig",
     "Workload",
     "average_bounded_slowdown",
     "bounded_slowdown",
     "concat_workloads",
+    "distribute_jobs",
     "easy_backfill",
     "fixed_priority_batch",
     "hetero_simulate",
+    "hybrid_starts",
     "makespan",
+    "normalize_topology",
+    "parse_arch_specs",
     "per_job_flow",
+    "platform_identity",
     "shadow_schedule",
+    "simulate_partitioned",
     "StepProfile",
     "Variant",
     "busy_cores_profile",
@@ -86,4 +119,5 @@ __all__ = [
     "to_gantt_csv",
     "utilization",
     "waiting_times",
+    "workload_to_hetero_jobs",
 ]

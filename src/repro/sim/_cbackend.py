@@ -308,14 +308,24 @@ static int conservative_pass(Sim *S)
         double endr = t0r + dur;
         ensure_bp(S, t0r);
         ensure_bp(S, endr);
-        for (i64 i = 0; i < S->pn; i++) {
-            double t = S->p_t[i];
-            if (t0r - 1e-12 <= t && t < endr - 1e-12) {
-                S->p_f[i] -= sz;
-                if (S->p_f[i] < 0) return 4;
-            }
+        /* decrement from the exact start breakpoint forward (mirrors
+         * AvailabilityProfile.reserve): an epsilon lower bound could
+         * also catch a distinct breakpoint within 1e-12 *before* t0r
+         * that the earliest-start scan never vetted */
+        i64 i0 = -1;
+        for (i64 i = 0; i < S->pn; i++)
+            if (S->p_t[i] == t0r) { i0 = i; break; }
+        if (i0 < 0)
+            for (i64 i = 0; i < S->pn; i++)
+                if (fabs(S->p_t[i] - t0r) <= 1e-12) { i0 = i; break; }
+        for (i64 i = i0; i < S->pn; i++) {
+            if (S->p_t[i] >= endr - 1e-12) break;
+            S->p_f[i] -= sz;
+            if (S->p_f[i] < 0) return 4;
         }
-        if (t0r <= now + 1e-9) {
+        /* exact: slots strictly after now sit behind unprocessed
+         * release events (mirrors conservative_starts) */
+        if (t0r == now) {
             int rc = start_job(S, idx, idx != head);
             if (rc) return rc;
             n_started++;

@@ -1,4 +1,4 @@
-"""Homogeneous cluster resource model.
+"""Homogeneous cluster resource model — the leaf allocator.
 
 The paper's platform model (§3.1) is a set of ``nmax`` homogeneous cores
 behind *any* interconnection topology — i.e. topology never constrains
@@ -6,10 +6,13 @@ placement, so the entire resource state is a single free-core counter.
 This class enforces the conservation invariant (``free + busy == nmax`` at
 all times).
 
-The unified kernel (:mod:`repro.sim.kernel`) tracks free cores as a bare
-counter (with the same oversubscription assertion) for speed; this class
-remains the documented resource model and backs the heterogeneous
-simulator's per-pool accounting (:mod:`repro.sim.hetero`).
+It is the *single* free-core accounting implementation: the unified
+kernel's Python event loop (:mod:`repro.sim.kernel`) allocates and
+releases through a ``Cluster`` instance, and every
+:class:`~repro.sim.platform.Platform` pool — the flat machine, each
+topology leaf, each heterogeneous architecture — is one ``Cluster``.
+(The C backend transcribes the same counter arithmetic; the parity suite
+pins the two bit for bit.)
 """
 
 from __future__ import annotations

@@ -105,13 +105,31 @@ class AvailabilityProfile:
         end = start + duration
         self._ensure_breakpoint(start)
         self._ensure_breakpoint(end)
+        # *start* is always one of the profile's own breakpoints
+        # (earliest_start returns profile times, and _ensure_breakpoint
+        # above guarantees one within tolerance).  Decrement from that
+        # exact breakpoint forward: an epsilon lower bound could also
+        # catch a distinct breakpoint within 1e-12 *before* start — one
+        # earliest_start never vetted — and spuriously oversubscribe.
+        start_i = None
         for i, t in enumerate(self._times):
-            if start - 1e-12 <= t < end - 1e-12:
-                self._free[i] -= size
-                if self._free[i] < -1e-9:
-                    raise RuntimeError(
-                        f"reservation oversubscribes the profile at t={t}"
-                    )
+            if t == start:
+                start_i = i
+                break
+        if start_i is None:  # pragma: no cover - tolerance fallback
+            for i, t in enumerate(self._times):
+                if abs(t - start) <= 1e-12:
+                    start_i = i
+                    break
+        for i in range(start_i, len(self._times)):
+            t = self._times[i]
+            if t >= end - 1e-12:
+                break
+            self._free[i] -= size
+            if self._free[i] < -1e-9:
+                raise RuntimeError(
+                    f"reservation oversubscribes the profile at t={t}"
+                )
 
     def _ensure_breakpoint(self, t: float) -> None:
         if t == math.inf:
@@ -151,6 +169,10 @@ def conservative_starts(
         proc = max(float(proc), 1e-9)
         t = profile.earliest_start(size, proc)
         profile.reserve(t, proc, size)
-        if t <= now + 1e-9:
+        # exact: a starts-now reservation sits at the `now` breakpoint
+        # itself.  Any slot strictly after now — however close — is
+        # behind a release event that has not happened yet, so starting
+        # such a job would oversubscribe the actual free cores.
+        if t == now:
             started.append(ident)
     return started

@@ -54,9 +54,11 @@ __all__ = ["SimulationConfig", "ScheduleResult", "normalize_backfill", "simulate
 
 #: Accepted backfill modes: ``False``/``None``/``"none"``/``"off"`` (off),
 #: ``True``/``"easy"`` (EASY aggressive backfilling, the paper's
-#: algorithm) and ``"conservative"`` (every queued job holds a
-#: reservation).
-BACKFILL_MODES = (False, True, "none", "easy", "conservative")
+#: algorithm), ``"conservative"`` (every queued job holds a reservation)
+#: and ``"hybrid"`` (the first
+#: :data:`~repro.sim.backfill.HYBRID_RESERVATION_DEPTH` queued jobs hold
+#: reservations, the tail backfills aggressively).
+BACKFILL_MODES = (False, True, "none", "easy", "conservative", "hybrid")
 
 
 def normalize_backfill(value: bool | str | None) -> str | None:
@@ -66,8 +68,8 @@ def normalize_backfill(value: bool | str | None) -> str | None:
         return None
     if value in (True, "easy"):
         return "easy"
-    if value == "conservative":
-        return "conservative"
+    if value in ("conservative", "hybrid"):
+        return value
     raise ValueError(
         f"unknown backfill mode {value!r}; choose from {BACKFILL_MODES}"
     )
@@ -75,12 +77,21 @@ def normalize_backfill(value: bool | str | None) -> str | None:
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Immutable description of one simulation setup."""
+    """Immutable description of one simulation setup.
+
+    ``topology=None`` is the paper's flat machine; a topology tuple
+    selects the partitioned platform (:mod:`repro.sim.platform`) with
+    *distribution* choosing the job→leaf strategy and *platform_seed*
+    feeding the ``random`` strategy's stream.
+    """
 
     nmax: int
     use_estimates: bool = False
     backfill: bool | str = False
     tau: float = DEFAULT_TAU
+    topology: tuple[int, ...] | None = None
+    distribution: str = "round_robin"
+    platform_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.nmax < 1:
@@ -88,10 +99,16 @@ class SimulationConfig:
         if self.tau <= 0:
             raise ValueError(f"tau must be > 0, got {self.tau}")
         object.__setattr__(self, "backfill", normalize_backfill(self.backfill))
+        from repro.sim.platform import normalize_distribution, normalize_topology
+
+        object.__setattr__(self, "topology", normalize_topology(self.topology))
+        object.__setattr__(
+            self, "distribution", normalize_distribution(self.distribution)
+        )
 
     @property
     def backfill_mode(self) -> str | None:
-        """``None``, ``"easy"`` or ``"conservative"``."""
+        """``None``, ``"easy"``, ``"conservative"`` or ``"hybrid"``."""
         return self.backfill  # type: ignore[return-value]
 
 
@@ -105,6 +122,8 @@ class ScheduleResult:
     config: SimulationConfig
     backfilled: np.ndarray = field(default=None)  # type: ignore[assignment]
     n_events: int = 0
+    #: per-job leaf assignment for partitioned platforms (None when flat)
+    leaf: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if len(self.start) != len(self.workload):
@@ -168,6 +187,9 @@ def simulate(
     use_estimates: bool = False,
     backfill: bool | str = False,
     tau: float = DEFAULT_TAU,
+    topology: tuple[int, ...] | None = None,
+    distribution: str = "round_robin",
+    platform_seed: int = 0,
 ) -> ScheduleResult:
     """Simulate the online scheduling of *workload* under *policy*.
 
@@ -175,13 +197,21 @@ def simulate(
     (*nmax*), whether scheduling decisions see user estimates instead of
     actual runtimes (*use_estimates*), and backfilling (*backfill*:
     ``True``/``"easy"`` for the paper's EASY algorithm, ``"conservative"``
-    for the strict every-job-reserved variant).
+    for the strict every-job-reserved variant, ``"hybrid"`` for the
+    queue-front-reserved middle ground) — plus the platform axes this
+    library adds beyond the paper: *topology* partitions the machine
+    into equal leaves, each running its own scheduler instance over the
+    jobs the *distribution* strategy assigned to it
+    (:mod:`repro.sim.platform`; *platform_seed* feeds the ``random``
+    strategy).  ``topology=None`` keeps the paper's flat machine on the
+    original kernel invocation, bit for bit.
 
     Returns a :class:`ScheduleResult`; raises if any job exceeds the
-    machine size.
+    machine size (or, when partitioned, a single leaf).
     """
     config = SimulationConfig(
-        nmax=nmax, use_estimates=use_estimates, backfill=backfill, tau=tau
+        nmax=nmax, use_estimates=use_estimates, backfill=backfill, tau=tau,
+        topology=topology, distribution=distribution, platform_seed=platform_seed,
     )
     workload.validate_for_machine(nmax)
     n = len(workload)
@@ -194,31 +224,57 @@ def simulate(
     subs = workload.submit
     procs = workload.estimate if use_estimates else workload.runtime
 
-    if policy.dynamic:
-        outcome = simulate_events(
-            subs,
-            workload.runtime,
-            procs,
-            workload.size,
-            nmax,
-            scorer=policy.scores,
-            backfill=config.backfill_mode,
-        )
+    # Static contract: scores are now-independent and elementwise, so
+    # one whole-workload call (at any reference time) reproduces the
+    # per-arrival-batch scores bit for bit — and any subset of them the
+    # per-leaf scheduler instances see.  The contract is enforced
+    # registry-wide by tests/test_policy_batch_contract.py.
+    scorer = policy.scores if policy.dynamic else None
+    scores = (
+        None
+        if policy.dynamic
+        else policy.scores(float(subs[0]), subs, procs, workload.size)
+    )
+
+    leaf = None
+    if config.topology is None:
+        if policy.dynamic:
+            outcome = simulate_events(
+                subs,
+                workload.runtime,
+                procs,
+                workload.size,
+                nmax,
+                scorer=scorer,
+                backfill=config.backfill_mode,
+            )
+        else:
+            outcome = simulate_events(
+                subs,
+                workload.runtime,
+                procs,
+                workload.size,
+                nmax,
+                static_scores=scores,
+                backfill=config.backfill_mode,
+            )
     else:
-        # Static contract: scores are now-independent and elementwise,
-        # so one whole-workload call (at any reference time) reproduces
-        # the per-arrival-batch scores bit for bit.  The contract is
-        # enforced registry-wide by tests/test_policy_batch_contract.py.
-        scores = policy.scores(float(subs[0]), subs, procs, workload.size)
-        outcome = simulate_events(
+        from repro.sim.platform import PartitionedPlatform, simulate_partitioned
+
+        platform = PartitionedPlatform(nmax, config.topology)
+        outcome = simulate_partitioned(
+            platform,
             subs,
             workload.runtime,
             procs,
             workload.size,
-            nmax,
             static_scores=scores,
+            scorer=scorer,
             backfill=config.backfill_mode,
+            distribution=config.distribution,
+            seed=config.platform_seed,
         )
+        leaf = outcome.leaf
 
     # Telemetry (no-op by default): one batch of counter increments per
     # whole-workload simulation — never per event or per job — so the
@@ -230,8 +286,10 @@ def simulate(
     registry.inc("sim.jobs_completed", n)
     registry.inc("sim.backfill_passes", outcome.n_backfill_passes)
     registry.inc("sim.backfilled", int(outcome.backfilled.sum()))
+    if leaf is not None:
+        registry.inc("sim.leaves", platform.n_leaves)
 
     return ScheduleResult(
         workload, outcome.start, policy.name, config,
-        outcome.backfilled, outcome.n_events,
+        outcome.backfilled, outcome.n_events, leaf,
     )

@@ -32,14 +32,77 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.sim.cluster import Cluster
 from repro.sim.events import CompletionQueue
 from repro.sim.metrics import DEFAULT_TAU, average_bounded_slowdown, bounded_slowdown
+from repro.sim.platform import Platform
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.policies.base import Policy
+    from repro.sim.job import Workload
 
-__all__ = ["Variant", "HeteroJob", "HeteroPlatform", "HeteroResult", "hetero_simulate"]
+__all__ = [
+    "ArchSpec",
+    "HeteroJob",
+    "HeteroPlatform",
+    "HeteroResult",
+    "Variant",
+    "hetero_simulate",
+    "parse_arch_specs",
+    "workload_to_hetero_jobs",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ArchSpec:
+    """One architecture pool as spelled on the CLI: ``name:cores[:speedup]``.
+
+    *speedup* scales the reference runtime (``runtime / speedup`` on this
+    architecture); the first spec in a list is the reference architecture
+    (speedup 1.0 by convention — what the submitting user estimated).
+    """
+
+    name: str
+    cores: int
+    speedup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("architecture name must be non-empty")
+        if self.cores < 1:
+            raise ValueError(f"arch {self.name!r}: cores must be >= 1")
+        if self.speedup <= 0:
+            raise ValueError(f"arch {self.name!r}: speedup must be > 0")
+
+
+def parse_arch_specs(values: tuple[str, ...] | list[str]) -> list[ArchSpec]:
+    """Parse ``name:cores[:speedup]`` spellings (e.g. ``cpu:256,gpu:64:8``).
+
+    The first entry is the reference architecture.  Raises
+    :class:`ValueError` on malformed entries or duplicate names.
+    """
+    if not values:
+        raise ValueError("need at least one architecture spec")
+    specs: list[ArchSpec] = []
+    seen: set[str] = set()
+    for text in values:
+        parts = str(text).split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad architecture spec {text!r}; expected name:cores[:speedup]"
+            )
+        name = parts[0].strip()
+        try:
+            cores = int(parts[1])
+            speedup = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError:
+            raise ValueError(
+                f"bad architecture spec {text!r}; expected name:cores[:speedup]"
+            ) from None
+        if name in seen:
+            raise ValueError(f"duplicate architecture name {name!r}")
+        seen.add(name)
+        specs.append(ArchSpec(name, cores, speedup))
+    return specs
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,17 +150,14 @@ class HeteroJob:
         return self.variants[self.reference]
 
 
-class HeteroPlatform:
-    """A set of named homogeneous pools (one per architecture)."""
+class HeteroPlatform(Platform):
+    """A set of named homogeneous pools (one per architecture).
 
-    def __init__(self, pools: dict[str, int]) -> None:
-        if not pools:
-            raise ValueError("platform needs at least one pool")
-        self.pools = {name: Cluster(n) for name, n in pools.items()}
-
-    def free(self, arch: str) -> int:
-        """Idle units in pool *arch*."""
-        return self.pools[arch].free
+    Pool construction, free-unit lookup and the conservation invariant
+    come from the shared :class:`~repro.sim.platform.Platform` base —
+    the same per-pool :class:`~repro.sim.cluster.Cluster` accounting the
+    partitioned platform's leaves use.
+    """
 
     def validate(self, jobs: list[HeteroJob]) -> None:
         """Every job must have >= 1 variant that can ever run."""
@@ -243,3 +303,36 @@ def hetero_simulate(
         schedule_pass(now)
 
     return HeteroResult(jobs, start, chosen, policy.name, tau, dispatch)
+
+
+def workload_to_hetero_jobs(
+    workload: "Workload", archs: list[ArchSpec]
+) -> list[HeteroJob]:
+    """Lift a homogeneous :class:`~repro.sim.job.Workload` onto *archs*.
+
+    The first spec is the reference architecture: its variant carries the
+    workload's own (runtime, size).  Every other architecture gets a
+    variant with ``runtime / speedup`` for jobs that fit its pool — jobs
+    too large for a pool simply have no variant there (and
+    :meth:`HeteroPlatform.validate` rejects jobs that fit nowhere).
+    """
+    if not archs:
+        raise ValueError("need at least one architecture spec")
+    reference = archs[0]
+    jobs: list[HeteroJob] = []
+    for i in range(len(workload)):
+        submit = float(workload.submit[i])
+        runtime = float(workload.runtime[i])
+        size = int(workload.size[i])
+        variants = {
+            arch.name: Variant(runtime / arch.speedup, size)
+            for arch in archs
+            if size <= arch.cores
+        }
+        if reference.name not in variants:
+            raise ValueError(
+                f"job {i} wants {size} cores but the reference architecture"
+                f" {reference.name!r} has only {reference.cores}"
+            )
+        jobs.append(HeteroJob(i, submit, variants, reference=reference.name))
+    return jobs

@@ -60,7 +60,9 @@ __all__ = [
 ]
 
 #: Canonical backfill mode -> integer code shared with the C backend.
-_MODE_CODES = {None: 0, "easy": 1, "conservative": 2}
+#: The C transcription implements codes 0-2; ``hybrid`` (3) always runs
+#: on the Python path, even under ``REPRO_SIM_KERNEL=c``.
+_MODE_CODES = {None: 0, "easy": 1, "conservative": 2, "hybrid": 3}
 
 
 class KernelResult(NamedTuple):
@@ -132,8 +134,13 @@ def simulate_events(
         dynamic policies, applied to the entire queue once per
         scheduling pass.
     backfill:
-        ``None``, ``"easy"`` or ``"conservative"`` (canonical spellings
-        only — use :func:`repro.sim.engine.normalize_backfill`).
+        ``None``, ``"easy"``, ``"conservative"`` or ``"hybrid"``
+        (canonical spellings only — use
+        :func:`repro.sim.engine.normalize_backfill`).  Hybrid replans
+        like conservative but reserves only the queue front
+        (:data:`repro.sim.backfill.HYBRID_RESERVATION_DEPTH` jobs); it
+        has no C transcription, so it runs the Python path regardless
+        of ``REPRO_SIM_KERNEL``.
     arrival_order:
         Indices sorted by ``(submit, index)``.  Defaults to ``0..n-1``
         (correct for submit-sorted workloads).
@@ -155,7 +162,11 @@ def simulate_events(
     if static_scores is not None:
         static_scores = _as_f64(static_scores)
         validate_scores(static_scores, score_label)
-        backend = None if _cbackend.requested_mode() == "python" else _cbackend.load()
+        backend = (
+            None
+            if mode == 3 or _cbackend.requested_mode() == "python"
+            else _cbackend.load()
+        )
         if backend is not None:
             start, backfilled, n_events, n_passes = backend.sim(
                 submit, runtime, proc, size, static_scores, arrival_order, nmax, mode
@@ -248,6 +259,8 @@ def _simulate_py(
     order: np.ndarray,
 ) -> KernelResult:
     """The pure-Python event loop (dynamic policies and C-less hosts)."""
+    from repro.sim.backfill import hybrid_starts
+    from repro.sim.cluster import Cluster
     from repro.sim.conservative import conservative_starts
 
     n = subs.shape[0]
@@ -269,7 +282,11 @@ def _simulate_py(
     run_pos: dict[int, int] = {}
     rn = 0
 
-    free = nmax
+    # Free/busy cores go through the shared Cluster allocator — the same
+    # code path as the per-leaf platform model — so the conservation
+    # invariant (free + busy == nmax) is asserted inside the kernel
+    # instead of being a drift-prone parallel implementation.
+    cluster = Cluster(nmax)
     completions: list[tuple[float, int]] = []
     heappush = heapq.heappush
     heappop = heapq.heappop
@@ -289,10 +306,9 @@ def _simulate_py(
     now = subs_l[order_l[0]]
 
     def _start(idx: int, via_bf: bool) -> None:
-        nonlocal free, rn, started_count
+        nonlocal rn, started_count
         sz = sizes_l[idx]
-        free -= sz
-        assert free >= 0, "kernel oversubscription"
+        cluster.allocate(idx, sz)
         start_arr[idx] = now
         if via_bf:
             backfilled[idx] = True
@@ -315,7 +331,7 @@ def _simulate_py(
 
         while completions and completions[0][0] <= now:
             _, idx = heappop(completions)
-            free += sizes_l[idx]
+            cluster.release(idx)
             if mode:
                 p = run_pos.pop(idx)
                 last = rn - 1
@@ -345,10 +361,12 @@ def _simulate_py(
                 continue
 
         # ---- scheduling pass -----------------------------------------
-        if mode != 2 and free == 0:
+        if mode < 2 and cluster.free == 0:
             # Nothing can start (every job needs >= 1 core) and the EASY
             # pass requires free cores, so skipping is result-identical;
             # this also skips a dynamic rescoring, which is pure win.
+            # Replan modes (conservative, hybrid) still run their pass
+            # so reservation bookkeeping and pass counts stay defined.
             continue
 
         if dynamic:
@@ -360,9 +378,10 @@ def _simulate_py(
             ord_list = witems
 
         started: set[int] = set()
-        if mode == 2:
+        if mode >= 2:
             n_passes += 1
-            chosen = conservative_starts(
+            starter = conservative_starts if mode == 2 else hybrid_starts
+            chosen = starter(
                 now,
                 nmax,
                 ord_list,
@@ -378,12 +397,12 @@ def _simulate_py(
         else:
             pos = 0
             L = len(ord_list)
-            while pos < L and sizes_l[ord_list[pos]] <= free:
+            while pos < L and sizes_l[ord_list[pos]] <= cluster.free:
                 idx = ord_list[pos]
                 _start(idx, False)
                 started.add(idx)
                 pos += 1
-            if mode == 1 and pos < L and free > 0 and L - pos >= 2:
+            if mode == 1 and pos < L and cluster.free > 0 and L - pos >= 2:
                 n_passes += 1
                 head_size = sizes_l[ord_list[pos]]
                 if rn == 0:
@@ -397,7 +416,7 @@ def _simulate_py(
                 ends = np.maximum(run_end[:rn], now)
                 ordr = np.lexsort((run_size[:rn], ends))
                 csum = np.cumsum(run_size[:rn][ordr])
-                csum += free
+                csum += cluster.free
                 k = int(np.searchsorted(csum, head_size, side="left"))
                 if k >= rn:
                     raise RuntimeError(
@@ -408,7 +427,7 @@ def _simulate_py(
                 for p in range(pos + 1, L):
                     idx = ord_list[p]
                     sz = sizes_l[idx]
-                    if sz > free:
+                    if sz > cluster.free:
                         continue
                     if now + procs_l[idx] <= shadow + 1e-9:
                         _start(idx, True)
@@ -417,7 +436,7 @@ def _simulate_py(
                         _start(idx, True)
                         started.add(idx)
                         extra -= sz
-                    if free == 0:
+                    if cluster.free == 0:
                         break
 
         if started:

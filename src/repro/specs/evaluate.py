@@ -71,6 +71,10 @@ class EvaluateSpec(Spec):
     bootstrap: int = 1000
     #: Nominal coverage of the bootstrap intervals.
     ci: float = 0.95
+    #: Platform topology tuple (``None`` = the paper's flat machine).
+    topology: tuple[int, ...] | None = None
+    #: Job→leaf distribution strategy for partitioned topologies.
+    distribution: str = "round_robin"
 
     def __post_init__(self) -> None:
         if self.tau is None:
@@ -84,6 +88,8 @@ class EvaluateSpec(Spec):
         config = self.to_matrix_config()
         object.__setattr__(self, "policies", config.policies)
         object.__setattr__(self, "backfill", config.backfill)
+        object.__setattr__(self, "topology", config.topology)
+        object.__setattr__(self, "distribution", config.distribution)
         if self.trace is None:
             check_trace_name(self.synthetic)
         else:
@@ -117,6 +123,8 @@ class EvaluateSpec(Spec):
                 warmup=self.warmup,
                 max_windows=self.max_windows,
                 seed=self.seed,
+                topology=self.topology,
+                distribution=self.distribution,
             )
         except (KeyError, ValueError) as exc:
             raise SpecError(f"invalid evaluate spec: {exc}") from None
@@ -148,4 +156,13 @@ class EvaluateSpec(Spec):
         else:
             payload["synthetic"] = self.synthetic
             payload["jobs"] = self.jobs
+        # Platform axes enter only when partitioned (flat and product-1
+        # topologies are byte-identical to the pre-platform engine), so
+        # existing fingerprints and caches stay valid.
+        from repro.sim.platform import platform_identity
+
+        platform = platform_identity(self.topology, self.distribution, self.seed)
+        if platform is not None:
+            payload["topology"] = list(self.topology)
+            payload["distribution"] = self.distribution
         return payload

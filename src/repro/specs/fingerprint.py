@@ -101,6 +101,7 @@ def eval_cell_fingerprint(
     use_estimates: bool,
     tau: float,
     cell_format: int,
+    platform: Mapping[str, object] | None = None,
 ) -> str:
     """Key of one evaluation-matrix cell (window × policy × backfill).
 
@@ -108,20 +109,24 @@ def eval_cell_fingerprint(
     fingerprint`) stands in for the trace, so keys are independent of
     file paths and of the batch/streaming slicer that produced the
     window.  Byte-compatible with the historical per-cell keys of
-    :mod:`repro.eval.matrix`.
+    :mod:`repro.eval.matrix`: *platform* — the partitioned-platform
+    identity from :func:`repro.sim.platform.platform_identity` — enters
+    the payload only when non-``None``, and flat platforms pass ``None``,
+    so every pre-platform key is reproduced exactly.
     """
-    return config_fingerprint(
-        {
-            "kind": "eval-cell",
-            "format": cell_format,
-            "window": window_fingerprint,
-            "policy": policy,
-            "backfill": backfill,
-            "nmax": nmax,
-            "use_estimates": use_estimates,
-            "tau": tau,
-        }
-    )
+    payload: dict[str, object] = {
+        "kind": "eval-cell",
+        "format": cell_format,
+        "window": window_fingerprint,
+        "policy": policy,
+        "backfill": backfill,
+        "nmax": nmax,
+        "use_estimates": use_estimates,
+        "tau": tau,
+    }
+    if platform is not None:
+        payload["platform"] = dict(platform)
+    return config_fingerprint(payload)
 
 
 def simulate_cell_fingerprint(
@@ -132,26 +137,31 @@ def simulate_cell_fingerprint(
     nmax: int,
     use_estimates: bool,
     tau: float,
+    platform: Mapping[str, object] | None = None,
 ) -> str:
     """Key of one whole-workload simulation (the ``simulate`` verb).
 
     Content-addressed exactly like the evaluation cells: the workload's
     array hash (:func:`repro.eval.windows.workload_fingerprint`) rather
     than its path or name, so renaming an SWF file cannot fork the
-    cache.
+    cache.  *platform* follows the same only-when-partitioned rule as
+    :func:`eval_cell_fingerprint` (it also carries the heterogeneous
+    architecture list for ``--hetero-archs`` runs), keeping historical
+    flat keys byte-identical.
     """
-    return config_fingerprint(
-        {
-            "kind": "simulate-cell",
-            "format": SIMULATE_CELL_FORMAT,
-            "workload": workload_fingerprint,
-            "policy": policy,
-            "backfill": backfill,
-            "nmax": nmax,
-            "use_estimates": use_estimates,
-            "tau": tau,
-        }
-    )
+    payload: dict[str, object] = {
+        "kind": "simulate-cell",
+        "format": SIMULATE_CELL_FORMAT,
+        "workload": workload_fingerprint,
+        "policy": policy,
+        "backfill": backfill,
+        "nmax": nmax,
+        "use_estimates": use_estimates,
+        "tau": tau,
+    }
+    if platform is not None:
+        payload["platform"] = dict(platform)
+    return config_fingerprint(payload)
 
 
 def spec_fingerprint(kind: str, payload: Mapping[str, object]) -> str:

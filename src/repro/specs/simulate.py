@@ -32,11 +32,32 @@ def canonical_policy(name: str) -> str:
 
 
 def canonical_backfill(value: str | bool | None) -> str:
-    """Canonical backfill token (``"none"``/``"easy"``/``"conservative"``)."""
+    """Canonical backfill token
+    (``"none"``/``"easy"``/``"conservative"``/``"hybrid"``)."""
     from repro.sim.engine import normalize_backfill
 
     try:
         return normalize_backfill(value) or "none"
+    except ValueError as exc:
+        raise SpecError(str(exc)) from None
+
+
+def canonical_topology(value) -> tuple[int, ...] | None:
+    """Canonical topology tuple (``None`` for the flat machine)."""
+    from repro.sim.platform import normalize_topology
+
+    try:
+        return normalize_topology(value)
+    except ValueError as exc:
+        raise SpecError(str(exc)) from None
+
+
+def canonical_distribution(value: str | None) -> str:
+    """Canonical job-distribution strategy name."""
+    from repro.sim.platform import normalize_distribution
+
+    try:
+        return normalize_distribution(value)
     except ValueError as exc:
         raise SpecError(str(exc)) from None
 
@@ -106,6 +127,13 @@ class SimulateSpec(Spec):
     backfill: str = "none"
     #: ``None`` resolves to :data:`repro.sim.metrics.DEFAULT_TAU`.
     tau: float | None = None
+    #: Platform topology tuple (``None`` = the paper's flat machine).
+    topology: tuple[int, ...] | None = None
+    #: Job→leaf distribution strategy for partitioned topologies.
+    distribution: str = "round_robin"
+    #: Heterogeneous architecture pools (``name:cores[:speedup]``,
+    #: first entry is the reference); mutually exclusive with *topology*.
+    hetero: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.tau is None:
@@ -126,6 +154,30 @@ class SimulateSpec(Spec):
             # The generated model needs an explicit machine size; default
             # to the paper's 256 so a bare spec is runnable.
             object.__setattr__(self, "nmax", 256)
+        object.__setattr__(self, "topology", canonical_topology(self.topology))
+        object.__setattr__(
+            self, "distribution", canonical_distribution(self.distribution)
+        )
+        if self.hetero is not None:
+            if self.topology is not None:
+                raise SpecError("pass at most one of topology / hetero")
+            if self.backfill != "none":
+                raise SpecError(
+                    "heterogeneous platforms support no backfilling (the"
+                    " dispatcher prototype is head-blocking); drop --backfill"
+                )
+            if self.estimates:
+                raise SpecError(
+                    "heterogeneous platforms ignore user estimates; drop"
+                    " --estimates"
+                )
+            from repro.sim.hetero import parse_arch_specs
+
+            try:
+                parse_arch_specs(tuple(self.hetero))
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+            object.__setattr__(self, "hetero", tuple(self.hetero))
 
     def _fingerprint_payload(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -148,4 +200,18 @@ class SimulateSpec(Spec):
             payload["trace"] = self.trace
             payload["jobs"] = self.jobs
             payload["seed"] = self.seed
+        # Platform axes enter the identity only when they change results:
+        # flat (and product-1) topologies are byte-identical to the
+        # pre-platform engine, so omitting them keeps every existing
+        # fingerprint and cache entry valid.
+        from repro.sim.platform import platform_identity
+
+        platform = platform_identity(self.topology, self.distribution, self.seed)
+        if platform is not None:
+            payload["topology"] = list(self.topology)
+            payload["distribution"] = self.distribution
+            if self.distribution == "random":
+                payload["platform_seed"] = self.seed
+        if self.hetero is not None:
+            payload["hetero"] = list(self.hetero)
         return payload

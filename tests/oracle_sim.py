@@ -120,11 +120,27 @@ class _AvailabilityProfile:
         end = start + duration
         self._ensure_breakpoint(start)
         self._ensure_breakpoint(end)
+        # decrement from the exact start breakpoint forward (mirrors
+        # repro.sim.conservative.AvailabilityProfile.reserve): an epsilon
+        # lower bound could catch a distinct breakpoint within 1e-12
+        # *before* start that earliest_start never vetted
+        start_i = None
         for i, t in enumerate(self._times):
-            if start - 1e-12 <= t < end - 1e-12:
-                self._free[i] -= size
-                if self._free[i] < -1e-9:
-                    raise RuntimeError("reservation oversubscribes the profile")
+            if t == start:
+                start_i = i
+                break
+        if start_i is None:
+            for i, t in enumerate(self._times):
+                if abs(t - start) <= 1e-12:
+                    start_i = i
+                    break
+        for i in range(start_i, len(self._times)):
+            t = self._times[i]
+            if t >= end - 1e-12:
+                break
+            self._free[i] -= size
+            if self._free[i] < -1e-9:
+                raise RuntimeError("reservation oversubscribes the profile")
 
     def _ensure_breakpoint(self, t):
         if t == math.inf:
@@ -148,7 +164,9 @@ def _conservative_starts(now, nmax, queue, q_size, q_proc, running_end, running_
         proc = max(float(proc), 1e-9)
         t = profile.earliest_start(size, proc)
         profile.reserve(t, proc, size)
-        if t <= now + 1e-9:
+        # exact: slots strictly after now sit behind unprocessed
+        # release events (mirrors repro.sim.conservative)
+        if t == now:
             started.append(ident)
     return started
 
@@ -332,15 +350,31 @@ def oracle_simulate(
 
 
 def oracle_schedule_result(
-    workload, policy, nmax, *, use_estimates=False, backfill=False, tau=None
+    workload,
+    policy,
+    nmax,
+    *,
+    use_estimates=False,
+    backfill=False,
+    tau=None,
+    topology=None,
+    distribution="round_robin",
+    platform_seed=0,
 ) -> ScheduleResult:
     """Drop-in ``simulate`` replacement built on the frozen loop.
 
     Used by ``scripts/check_kernel_parity.py`` to replay the evaluation
-    matrix through the pre-kernel path and byte-compare its report.
+    matrix through the pre-kernel path and byte-compare its report.  The
+    oracle predates the platform layer, so it models flat machines only;
+    the platform kwargs are accepted for signature compatibility and a
+    genuinely partitioned request is rejected.
     """
+    import math as _math
+
     from repro.sim.metrics import DEFAULT_TAU
 
+    if topology is not None and _math.prod(topology) != 1:
+        raise ValueError("the frozen oracle models flat machines only")
     out = oracle_simulate(
         workload, policy, nmax, use_estimates=use_estimates, backfill=backfill
     )

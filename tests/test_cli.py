@@ -575,3 +575,82 @@ class TestInfoSpecKinds:
         assert "spec kinds: evaluate, simulate, sweep, table4, train" in (
             capsys.readouterr().out
         )
+
+
+class TestPlatformFlags:
+    def _simulate(self, *extra):
+        return main(
+            [
+                "simulate",
+                "--policy",
+                "fcfs",
+                "--swf",
+                FIXTURE_SWF,
+                "--nmax",
+                "1024",
+                *extra,
+            ]
+        )
+
+    def test_topology_one_prints_flat_bytes(self, capsys):
+        assert self._simulate() == 0
+        flat = capsys.readouterr().out
+        assert self._simulate("--topology", "1") == 0
+        assert capsys.readouterr().out == flat
+        assert "topology=" not in flat
+
+    def test_partitioned_simulate_labels_the_platform(self, capsys):
+        assert (
+            self._simulate(
+                "--topology", "2x2", "--distribution", "by_size", "--backfill", "hybrid"
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "topology=2x2 distribution=by_size" in out
+
+    def test_hetero_archs_end_to_end(self, capsys):
+        assert self._simulate("--hetero-archs", "cpu:1024,gpu:256:8") == 0
+        out = capsys.readouterr().out
+        assert "hetero=cpu:1024+gpu:256:8" in out
+        assert "nmax=1280" in out  # pools summed
+
+    def test_bad_topology_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--topology", "2xbanana"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--topology", "0"])
+
+    def test_hetero_with_topology_rejected(self):
+        with pytest.raises(SystemExit, match="at most one of topology / hetero"):
+            self._simulate("--topology", "2", "--hetero-archs", "cpu:512,gpu:512")
+
+    def test_uneven_topology_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="does not divide evenly"):
+            self._simulate("--topology", "3x3")
+
+    def test_evaluate_topology_matrix(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "evaluate",
+            "--trace",
+            FIXTURE_SWF,
+            "--nmax",
+            "1024",
+            "--window-jobs",
+            "100",
+            "--policies",
+            "fcfs,f1",
+            "--backfill",
+            "easy,hybrid",
+            "--topology",
+            "2x2",
+            "--cache",
+            cache,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "topology=2x2 distribution=round_robin" in out
+        assert "simulated 8, cached 0" in out
+        assert main(argv) == 0
+        assert "simulated 0, cached 8" in capsys.readouterr().out

@@ -334,3 +334,51 @@ class TestCBackendGate:
             1,
         )
         assert out.tolist() == [[0.0, 2.0]]
+
+
+class TestProfileDustRegression:
+    """Near-equal availability-profile breakpoints must not crash.
+
+    Two running jobs can end at floats closer than the profile's 1e-12
+    equality tolerance (here 70.07 and 70.07000000000001).  Two bugs
+    lurked behind that: reserve()'s epsilon lower bound decremented the
+    near-duplicate breakpoint *before* the reserved start (one
+    earliest_start never vetted — spurious "oversubscribes the profile"),
+    and the starts-now test `t <= now + 1e-9` started jobs whose slot sat
+    behind a release event that had not happened yet.  This workload used
+    to crash every implementation; now all three must agree byte-for-byte.
+    """
+
+    SUBMIT = [1.0, 2.7, 3.3, 5.2, 5.2, 5.7, 9.5, 9.9, 10.2, 11.9, 15.1,
+              18.1, 20.6, 20.6, 22.2, 24.0, 24.6, 25.7, 26.0, 27.3, 27.8,
+              30.6, 30.9, 31.4, 34.1, 35.7, 36.5, 38.3, 43.1, 43.8, 45.1,
+              47.1, 49.2, 51.0, 51.5]
+    RUNTIME = [69.07, 57.095, 25.679, 54.883, 7.343, 64.063, 25.492, 2.932,
+               49.895, 17.431, 19.647, 56.081, 30.392, 16.399, 20.392,
+               76.435, 45.924, 54.723, 35.725, 42.862, 53.604, 8.985,
+               34.967, 22.798, 61.453, 75.802, 6.536, 26.495, 9.551,
+               20.348, 3.597, 76.181, 60.311, 78.682, 66.945]
+    SIZE = [6, 166, 75, 29, 162, 41, 232, 40, 205, 245, 151, 17, 98, 56,
+            242, 56, 151, 118, 29, 16, 251, 164, 77, 107, 103, 13, 176,
+            145, 248, 228, 61, 103, 52, 209, 224]
+
+    def _workload(self) -> Workload:
+        return Workload.from_arrays(
+            submit=np.array(self.SUBMIT),
+            runtime=np.array(self.RUNTIME),
+            size=np.array(self.SIZE, dtype=np.int64),
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mode", ["conservative", "hybrid"])
+    def test_dust_breakpoints_schedule_cleanly(self, monkeypatch, mode, backend):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", backend)
+        w = self._workload()
+        policy = get_policy("fcfs")
+        got = simulate(w, policy, 256, backfill=mode)
+        assert np.isfinite(got.start).all()
+        if mode == "conservative":
+            want = oracle_simulate(w, policy, 256, backfill="conservative")
+            assert got.start.tobytes() == want.start.tobytes()
+            assert got.backfilled.tobytes() == want.backfilled.tobytes()
+            assert got.n_events == want.n_events
